@@ -1,0 +1,35 @@
+// Command echod is the UDP echo reflector live network monitors
+// probe against (the raw-socket-free stand-in for the thesis's ICMP
+// port-unreachable echoes, §3.3.2): it bounces the 16-byte probe
+// header back to the sender.
+//
+//	echod -listen :1112
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"smartsock/internal/bwest"
+)
+
+func main() {
+	listen := flag.String("listen", ":1112", "UDP listen address")
+	flag.Parse()
+	logger := log.New(os.Stderr, "echod: ", log.LstdFlags)
+
+	srv, err := bwest.NewEchoServer(*listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("echoing probes on %s", srv.Addr())
+	if err := srv.Run(ctx); err != nil && ctx.Err() == nil {
+		logger.Fatal(err)
+	}
+}

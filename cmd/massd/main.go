@@ -1,0 +1,133 @@
+// Command massd is the thesis's massive download program (§5.3.2):
+// a block server and a parallel downloader that fetches from several
+// servers at once over wizard-selected sockets.
+//
+//	massd -mode server -listen :9100 [-rate 860]
+//	    serve blocks; -rate caps the uplink in KB/s (the rshaper
+//	    stand-in).
+//
+//	massd -mode client -data 50000 -blk 100 \
+//	      -wizard w.lab:1120 -req 'monitor_network_bw > 6' -servers 3
+//	    download -data KB in -blk KB blocks across the selected
+//	    servers and report throughput. -addr host:port (repeatable)
+//	    bypasses the wizard.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"smartsock"
+	"smartsock/internal/massd"
+	"smartsock/internal/shaper"
+	"smartsock/internal/taskdiv"
+)
+
+type addrList []string
+
+func (a *addrList) String() string     { return strings.Join(*a, ",") }
+func (a *addrList) Set(v string) error { *a = append(*a, v); return nil }
+
+func main() {
+	var (
+		mode       = flag.String("mode", "client", "server | client")
+		listen     = flag.String("listen", ":9100", "server listen address")
+		rateKBps   = flag.Float64("rate", 0, "server uplink cap in KB/s (0: unshaped)")
+		dataKB     = flag.Int64("data", 50000, "client: total KB to download")
+		blkKB      = flag.Int64("blk", 100, "client: block size in KB")
+		wizardAddr = flag.String("wizard", "", "wizard address")
+		req        = flag.String("req", "", "server requirement")
+		autoMbps   = flag.Float64("auto-req", 0, "derive the requirement from a per-server bandwidth need in Mbps (taskdiv)")
+		servers    = flag.Int("servers", 1, "number of servers to request")
+		addrs      addrList
+	)
+	flag.Var(&addrs, "addr", "explicit server address (repeatable, bypasses the wizard)")
+	flag.Parse()
+	logger := log.New(os.Stderr, "massd: ", 0)
+
+	switch *mode {
+	case "server":
+		raw, err := net.Listen("tcp", *listen)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		var ln net.Listener = raw
+		if *rateKBps > 0 {
+			shaped, err := shaper.NewListener(raw, *rateKBps*1024)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			ln = shaped
+			logger.Printf("uplink shaped to %.0f KB/s", *rateKBps)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		srv := &massd.Server{}
+		logger.Printf("file server on %s", raw.Addr())
+		if err := srv.Serve(ctx, ln); err != nil && ctx.Err() == nil {
+			logger.Fatal(err)
+		}
+
+	case "client":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		var conns []net.Conn
+		if len(addrs) > 0 {
+			for _, addr := range addrs {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					logger.Fatalf("dial %s: %v", addr, err)
+				}
+				defer conn.Close()
+				conns = append(conns, conn)
+			}
+		} else {
+			if *wizardAddr == "" {
+				logger.Fatal("client mode needs -wizard or -addr")
+			}
+			requirement := *req
+			if *autoMbps > 0 {
+				// Ch. 6 task-division module: a massive download is
+				// network-bound with light disk traffic on the server.
+				profile := taskdiv.TaskProfile{NetworkMbps: *autoMbps, DiskIO: taskdiv.Light}
+				generated, err := profile.GenerateRequirement()
+				if err != nil {
+					logger.Fatal(err)
+				}
+				requirement = generated
+				logger.Printf("auto-generated requirement:\n%s", requirement)
+			}
+			client, err := smartsock.NewClient(*wizardAddr, nil)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			set, err := client.Connect(ctx, requirement, *servers)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			defer set.Close()
+			logger.Printf("wizard selected %v", set.Addrs())
+			conns = set.Conns()
+		}
+		stats, err := massd.Download(ctx, conns, *dataKB*1024, *blkKB*1024)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		fmt.Printf("downloaded %d KB over %d servers in %v: %.0f KB/s\n",
+			stats.Bytes/1024, len(conns), stats.Elapsed.Round(stats.Elapsed/100),
+			stats.ThroughputKBps())
+		for i, b := range stats.PerConn {
+			fmt.Printf("  server %d: %d KB\n", i+1, b/1024)
+		}
+
+	default:
+		logger.Fatalf("unknown -mode %q", *mode)
+	}
+}

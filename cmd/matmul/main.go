@@ -1,0 +1,161 @@
+// Command matmul is the thesis's distributed matrix multiplication
+// program (§5.3.1, Appendix C). It runs in three modes:
+//
+//	matmul -mode local -n 500
+//	    multiply two random n×n matrices in-process (the thesis's
+//	    "vector multiplication way").
+//
+//	matmul -mode worker -listen :9000 [-speed 0.6]
+//	    serve tiles for masters; -speed emulates a slower CPU.
+//
+//	matmul -mode master -n 500 -blk 100 -wizard w.lab:1120 \
+//	       -req 'host_cpu_free > 0.9' -servers 4
+//	    ask the wizard for servers and distribute the product over
+//	    the returned sockets. -addr host:port (repeatable) bypasses
+//	    the wizard for manual server lists.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smartsock"
+	"smartsock/internal/matrix"
+	"smartsock/internal/taskdiv"
+)
+
+type addrList []string
+
+func (a *addrList) String() string     { return strings.Join(*a, ",") }
+func (a *addrList) Set(v string) error { *a = append(*a, v); return nil }
+
+func main() {
+	var (
+		mode       = flag.String("mode", "local", "local | worker | master")
+		n          = flag.Int("n", 500, "matrix dimension")
+		blk        = flag.Int("blk", 100, "tile size for distributed mode")
+		seed       = flag.Int64("seed", 1, "matrix content seed")
+		listen     = flag.String("listen", ":9000", "worker listen address")
+		speed      = flag.Float64("speed", 1.0, "worker speed factor (0,1]")
+		wizardAddr = flag.String("wizard", "", "wizard address for master mode")
+		req        = flag.String("req", "", "server requirement for master mode")
+		autoReq    = flag.Bool("auto-req", false, "derive the requirement from the task profile (taskdiv)")
+		servers    = flag.Int("servers", 2, "number of servers to request")
+		check      = flag.Bool("check", false, "master: verify against a local multiply")
+		addrs      addrList
+	)
+	flag.Var(&addrs, "addr", "explicit worker address (repeatable, bypasses the wizard)")
+	flag.Parse()
+	logger := log.New(os.Stderr, "matmul: ", 0)
+
+	switch *mode {
+	case "local":
+		a, err := matrix.NewRandom(*n, *n, *seed)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		b, err := matrix.NewRandom(*n, *n, *seed+1)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := matrix.MultiplyLocal(a, b); err != nil {
+			logger.Fatal(err)
+		}
+		fmt.Printf("local %d×%d multiply: %v\n", *n, *n, time.Since(start).Round(time.Millisecond))
+
+	case "worker":
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		w := &matrix.Worker{SpeedFactor: *speed}
+		logger.Printf("worker on %s (speed %.2f)", ln.Addr(), *speed)
+		if err := w.Serve(ctx, ln); err != nil && ctx.Err() == nil {
+			logger.Fatal(err)
+		}
+
+	case "master":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		var conns []net.Conn
+		if len(addrs) > 0 {
+			for _, addr := range addrs {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					logger.Fatalf("dial %s: %v", addr, err)
+				}
+				defer conn.Close()
+				conns = append(conns, conn)
+			}
+		} else {
+			if *wizardAddr == "" {
+				logger.Fatal("master mode needs -wizard or -addr")
+			}
+			requirement := *req
+			if *autoReq {
+				// Ch. 6 task-division module: characterise the job and
+				// let taskdiv write the requirement. A distributed
+				// multiply is CPU-heavy and holds ~3 matrices of
+				// n²×8 bytes per worker in the worst case.
+				memMB := uint64(3*(*n)*(*n)*8/(1<<20)) + 8
+				profile := taskdiv.TaskProfile{CPU: taskdiv.Heavy, MemoryMB: memMB}
+				generated, err := profile.GenerateRequirement()
+				if err != nil {
+					logger.Fatal(err)
+				}
+				requirement = generated
+				logger.Printf("auto-generated requirement:\n%s", requirement)
+			}
+			client, err := smartsock.NewClient(*wizardAddr, nil)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			set, err := client.Connect(ctx, requirement, *servers)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			defer set.Close()
+			logger.Printf("wizard selected %v", set.Addrs())
+			conns = set.Conns()
+		}
+		a, err := matrix.NewRandom(*n, *n, *seed)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		b, err := matrix.NewRandom(*n, *n, *seed+1)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		start := time.Now()
+		c, err := matrix.Distribute(ctx, a, b, *blk, conns)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		fmt.Printf("distributed %d×%d multiply over %d workers: %v\n",
+			*n, *n, len(conns), time.Since(start).Round(time.Millisecond))
+		if *check {
+			want, err := matrix.MultiplyLocal(a, b)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			if !c.Equal(want, 1e-9) {
+				logger.Fatal("VERIFICATION FAILED: distributed result differs from local")
+			}
+			fmt.Println("verified against local multiply")
+		}
+
+	default:
+		logger.Fatalf("unknown -mode %q", *mode)
+	}
+}

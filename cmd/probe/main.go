@@ -1,0 +1,61 @@
+// Command probe is the server probe daemon of §3.2.1: it scans the
+// local system status (live /proc on Linux) at a fixed interval and
+// reports it to a system monitor over UDP (or TCP with -tcp, the
+// Chapter 6 extension for lossy networks).
+//
+//	probe -monitor mon.lab:1111 [-host $(hostname)] [-interval 5s] [-tcp]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"smartsock/internal/probe"
+	"smartsock/internal/sysinfo"
+)
+
+func main() {
+	var (
+		monitorAddr = flag.String("monitor", "", "system monitor address host:port (required)")
+		host        = flag.String("host", "", "name to report for this server (default: hostname)")
+		interval    = flag.Duration("interval", 0, "probe interval (default 5s)")
+		procRoot    = flag.String("proc", "/proc", "proc filesystem root")
+		useTCP      = flag.Bool("tcp", false, "report over TCP instead of UDP")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "probe: ", log.LstdFlags)
+	if *monitorAddr == "" {
+		logger.Fatal("-monitor is required")
+	}
+	if *host == "" {
+		h, err := os.Hostname()
+		if err != nil {
+			logger.Fatalf("hostname: %v", err)
+		}
+		*host = h
+	}
+	transport := probe.UDP
+	if *useTCP {
+		transport = probe.TCP
+	}
+	p, err := probe.New(probe.Config{
+		Source:    sysinfo.NewProcSource(*host, *procRoot),
+		Monitor:   *monitorAddr,
+		Interval:  *interval,
+		Transport: transport,
+		Logger:    logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("reporting %s to %s every %v over %v", *host, *monitorAddr, *interval, transport)
+	if err := p.Run(ctx); err != nil && ctx.Err() == nil {
+		logger.Fatal(err)
+	}
+}

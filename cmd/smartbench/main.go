@@ -1,0 +1,68 @@
+// Command smartbench regenerates the thesis's tables and figures.
+//
+// Usage:
+//
+//	smartbench -list
+//	smartbench -exp table5.3
+//	smartbench -all [-quick]
+//
+// Each experiment prints the same rows the paper reports; see
+// EXPERIMENTS.md for the paper-versus-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"smartsock/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp   = flag.String("exp", "", "run one experiment by id (e.g. table5.3, fig3.7)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "shrink workloads (CI mode)")
+		seed  = flag.Int64("seed", 1, "random seed for reproducible runs")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case *exp != "":
+		if err := runOne(*exp, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "smartbench:", err)
+			os.Exit(1)
+		}
+	case *all:
+		failed := 0
+		for _, id := range experiments.IDs() {
+			if err := runOne(id, *quick, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "smartbench: %s: %v\n", id, err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, quick bool, seed int64) error {
+	start := time.Now()
+	table, err := experiments.Run(id, experiments.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(table.Render())
+	fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command smartreq queries a wizard from the command line: it sends a
+// requirement (inline or from a file, §3.6.2 format) and prints the
+// selected servers, one per line — a shell-scriptable face for the
+// client library.
+//
+//	smartreq -wizard wizard.lab:1120 -n 3 -req 'host_cpu_free > 0.9'
+//	smartreq -wizard wizard.lab:1120 -n 2 -file requirement.txt -connect
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"smartsock"
+)
+
+func main() {
+	var (
+		wizardAddr = flag.String("wizard", "127.0.0.1:1120", "wizard UDP address")
+		n          = flag.Int("n", 1, "number of servers to request")
+		req        = flag.String("req", "", "requirement text")
+		file       = flag.String("file", "", "requirement file (overrides -req)")
+		partial    = flag.Bool("partial", false, "accept fewer servers than requested")
+		rank       = flag.Bool("rank", false, "rank by the requirement's score expression")
+		template   = flag.Bool("template", false, "treat -req as a template name on the wizard")
+		connect    = flag.Bool("connect", false, "also open a TCP connection to each server to verify reachability")
+		timeout    = flag.Duration("timeout", 5*time.Second, "overall deadline")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "smartreq: ", 0)
+
+	requirement := *req
+	if *file != "" {
+		text, err := smartsock.LoadRequirement(*file)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		requirement = text
+	} else if err := smartsock.CheckRequirement(requirement); err != nil {
+		logger.Fatal(err)
+	}
+
+	var opts []smartsock.Option
+	if *partial {
+		opts = append(opts, smartsock.OptPartialOK)
+	}
+	if *rank {
+		opts = append(opts, smartsock.OptRankByExpr)
+	}
+	if *template {
+		opts = append(opts, smartsock.OptTemplate)
+	}
+
+	client, err := smartsock.NewClient(*wizardAddr, nil)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *connect {
+		set, err := client.Connect(ctx, requirement, *n, opts...)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer set.Close()
+		for i, addr := range set.Addrs() {
+			fmt.Printf("%s\t(connected: %v)\n", addr, set.Conns()[i].RemoteAddr())
+		}
+		return
+	}
+	servers, err := client.RequestServers(ctx, requirement, *n, opts...)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	for _, s := range servers {
+		fmt.Println(s)
+	}
+}

@@ -1,0 +1,133 @@
+// Command sysmond is the system status monitor of §3.2.2: it ingests
+// probe reports on UDP port 1111 (the thesis's assignment, Table
+// 4.2), maintains the server status database, expires silent servers
+// and feeds the local transmitter.
+//
+// For a complete single-machine monitor node, sysmond can also host
+// the network monitor, security monitor and transmitter; see the
+// flags below. Components left unconfigured simply do not start.
+//
+//	sysmond -listen :1111 -receiver wizard.lab:1121 \
+//	        -seclog /etc/smartsock/security.log \
+//	        -netmon netmon-1 -peer netmon-2=peer2.lab:1112
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smartsock/internal/bwest"
+	"smartsock/internal/monitor"
+	"smartsock/internal/netmon"
+	"smartsock/internal/secmon"
+	"smartsock/internal/store"
+	"smartsock/internal/transport"
+)
+
+type peerList []string
+
+func (p *peerList) String() string     { return strings.Join(*p, ",") }
+func (p *peerList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":1111", "UDP address for probe reports")
+		interval   = flag.Duration("interval", 5*time.Second, "expected probe interval")
+		missed     = flag.Int("missed", 3, "intervals before a silent server expires")
+		enableTCP  = flag.Bool("tcp", false, "also accept framed TCP probe reports")
+		receiver   = flag.String("receiver", "", "receiver address for centralized push (empty: passive mode)")
+		passive    = flag.String("passive", "", "TCP listen address for distributed-mode pulls (e.g. :1110)")
+		seclog     = flag.String("seclog", "", "security log file for the security monitor")
+		netmonName = flag.String("netmon", "", "this node's network monitor name (enables netmon)")
+		peers      peerList
+	)
+	flag.Var(&peers, "peer", "network peer as name=echoAddr (repeatable)")
+	flag.Parse()
+	logger := log.New(os.Stderr, "sysmond: ", log.LstdFlags)
+
+	db := store.New()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	mon, err := monitor.New(monitor.Config{
+		Addr:            *listen,
+		DB:              db,
+		Interval:        *interval,
+		MissedIntervals: *missed,
+		EnableTCP:       *enableTCP,
+		Logger:          logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	go mon.Run(ctx)
+	logger.Printf("system monitor on %s", mon.Addr())
+
+	if *seclog != "" {
+		sm, err := secmon.New(secmon.Config{
+			Agent:  secmon.LogAgent{Path: *seclog},
+			DB:     db,
+			Logger: logger,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		go sm.Run(ctx)
+		logger.Printf("security monitor reading %s", *seclog)
+	}
+
+	if *netmonName != "" && len(peers) > 0 {
+		var nps []netmon.Peer
+		for _, spec := range peers {
+			name, addr, ok := strings.Cut(spec, "=")
+			if !ok {
+				logger.Fatalf("bad -peer %q, want name=addr", spec)
+			}
+			prober, err := bwest.NewUDPProber(addr, time.Second)
+			if err != nil {
+				logger.Fatalf("peer %s: %v", name, err)
+			}
+			defer prober.Close()
+			nps = append(nps, netmon.Peer{Name: name, Prober: prober, MTU: 1500})
+		}
+		nm, err := netmon.New(netmon.Config{
+			Name:   *netmonName,
+			Peers:  nps,
+			DB:     db,
+			Logger: logger,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		go nm.Run(ctx)
+		logger.Printf("network monitor %s probing %d peers", *netmonName, len(nps))
+	}
+
+	tx, err := transport.NewTransmitter(db, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	switch {
+	case *receiver != "":
+		logger.Printf("centralized mode: pushing to %s", *receiver)
+		go tx.RunActive(ctx, *receiver, *interval)
+	case *passive != "":
+		ln, err := net.Listen("tcp", *passive)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("distributed mode: serving pulls on %s", ln.Addr())
+		go tx.ServePassive(ctx, ln)
+	default:
+		logger.Print("no -receiver/-passive: transmitter idle (monitor-only node)")
+	}
+
+	<-ctx.Done()
+}

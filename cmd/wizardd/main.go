@@ -1,0 +1,109 @@
+// Command wizardd runs the wizard machine of §3.6: a receiver that
+// mirrors monitor databases (port 1121 in the thesis, Table 4.2) and
+// the wizard answering client requests on UDP (port 1120).
+//
+// Centralized mode (default): transmitters push to -receiver-listen.
+// Distributed mode: pass every passive transmitter with -pull; the
+// wizard refreshes from them when a request arrives.
+//
+//	wizardd -listen :1120 -receiver-listen :1121
+//	wizardd -listen :1120 -pull mon1.lab:1110 -pull mon2.lab:1110
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smartsock/internal/core"
+	"smartsock/internal/store"
+	"smartsock/internal/transport"
+	"smartsock/internal/wizard"
+)
+
+type addrList []string
+
+func (a *addrList) String() string     { return strings.Join(*a, ",") }
+func (a *addrList) Set(v string) error { *a = append(*a, v); return nil }
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":1120", "UDP address for client requests")
+		recvListen  = flag.String("receiver-listen", ":1121", "TCP address for transmitter pushes")
+		servicePort = flag.Int("service-port", 0, "port appended to selected hosts (0: none)")
+		localMon    = flag.String("local-monitor", "", "name of the client-side network monitor")
+		groupsFlag  = flag.String("groups", "", "host→group map as host=group,host=group")
+		tplFile     = flag.String("templates", "", "requirement template file ([name] sections, §3.6.1)")
+		pulls       addrList
+	)
+	flag.Var(&pulls, "pull", "passive transmitter to pull from on each request (repeatable; enables distributed mode)")
+	flag.Parse()
+	logger := log.New(os.Stderr, "wizardd: ", log.LstdFlags)
+
+	db := store.New()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	recv, err := transport.NewReceiver(db, *recvListen, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	var update wizard.UpdateFunc
+	if len(pulls) > 0 {
+		targets := []string(pulls)
+		update = func(context.Context) error { return recv.PullFrom(targets, 2*time.Second) }
+		logger.Printf("distributed mode: pulling from %v per request", targets)
+	} else {
+		go recv.Run(ctx)
+		logger.Printf("centralized mode: receiver on %s", recv.Addr())
+	}
+
+	groups := map[string]string{}
+	if *groupsFlag != "" {
+		for _, kv := range strings.Split(*groupsFlag, ",") {
+			host, group, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				logger.Fatalf("bad -groups entry %q, want host=group", kv)
+			}
+			groups[host] = group
+		}
+	}
+	var groupOf func(string) string
+	if len(groups) > 0 {
+		groupOf = func(h string) string { return groups[h] }
+	}
+	sel, err := core.New(db, core.Config{
+		LocalMonitor: *localMon,
+		GroupOf:      groupOf,
+		ServicePort:  *servicePort,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	var templates map[string]string
+	if *tplFile != "" {
+		templates, err = wizard.LoadTemplates(*tplFile)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("loaded %d requirement templates from %s", len(templates), *tplFile)
+	}
+	wz, err := wizard.New(wizard.Config{
+		Addr:      *listen,
+		Selector:  sel,
+		Update:    update,
+		Templates: templates,
+		Logger:    logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("wizard on %s", wz.Addr())
+	go wz.Run(ctx)
+	<-ctx.Done()
+}

@@ -1,0 +1,58 @@
+package smartsock_test
+
+import (
+	"fmt"
+
+	"smartsock"
+)
+
+// Requirements are validated locally before any network traffic.
+func ExampleCheckRequirement() {
+	err := smartsock.CheckRequirement(`
+# CPU-intensive job: fast, idle machines with headroom
+host_cpu_bogomips > 4000
+host_cpu_free >= 0.9
+host_memory_free > 100
+user_denied_host1 = hacker.some.net
+`)
+	fmt.Println("valid:", err == nil)
+
+	err = smartsock.CheckRequirement("host_cpu_free >")
+	fmt.Println("broken accepted:", err == nil)
+	// Output:
+	// valid: true
+	// broken accepted: false
+}
+
+// The requirement language exposes a fixed catalogue of server-side
+// variables; tooling can enumerate them.
+func ExampleServerVariables() {
+	vars := smartsock.ServerVariables()
+	fmt.Println(len(vars) >= 22, vars[0])
+	// Output:
+	// true host_system_load1
+}
+
+// User-side variables are the five denied and five preferred host
+// slots of Appendix B.2.
+func ExampleUserVariables() {
+	for _, v := range smartsock.UserVariables()[:2] {
+		fmt.Println(v)
+	}
+	// Output:
+	// user_denied_host1
+	// user_denied_host2
+}
+
+// The math builtins of Appendix B.4 are available inside
+// requirements, e.g. "log10(host_memory_free_bytes) > 8".
+func ExampleFunctions() {
+	fns := smartsock.Functions()
+	has := map[string]bool{}
+	for _, f := range fns {
+		has[f] = true
+	}
+	fmt.Println(has["sin"], has["log10"], has["pow"])
+	// Output:
+	// true true true
+}

@@ -1,0 +1,3 @@
+module smartsock
+
+go 1.22

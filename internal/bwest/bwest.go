@@ -1,0 +1,372 @@
+// Package bwest implements the bandwidth estimation methods the
+// thesis builds and compares (§3.3):
+//
+//   - the One-Way UDP Stream method, the thesis's own contribution: a
+//     packet-pair derivative that sends probes of two sizes S1, S2,
+//     measures round-trip times via ICMP port-unreachable echoes, and
+//     estimates the available bandwidth as B = (S2−S1)/(T2−T1)
+//     (Eq. 3.5), with the probe-size rules of §3.3.2 (both sizes
+//     above the MTU, as small as possible, equal fragment counts);
+//
+//   - a pipechar-style packet-pair estimator (single-ended, measures
+//     bottleneck capacity from echo dispersion, fragile under delay
+//     variation);
+//
+//   - a pathload-style SLoPS estimator (rate binary search using
+//     one-way delay trends, two-ended but accurate).
+//
+// All three run against small probing interfaces, implemented both by
+// the simnet path model and (for the UDP stream method) by a live
+// UDP echo prober, so the estimators themselves are identical in
+// simulation and on a real network.
+package bwest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Prober measures the round-trip time of one UDP probe of the given
+// payload size (§3.3.2's measurement primitive).
+type Prober interface {
+	ProbeRTT(payload int) time.Duration
+}
+
+// PairProber measures the echo dispersion of a back-to-back packet
+// pair (pipechar's primitive).
+type PairProber interface {
+	ProbePair(payload int) time.Duration
+}
+
+// StreamSender transmits a fixed-rate packet stream and reports the
+// per-packet one-way delays (pathload's SLoPS primitive).
+type StreamSender interface {
+	SendStream(payload, n int, rate float64) []time.Duration
+}
+
+// Stats summarises repeated bandwidth estimates, in bits per second —
+// the Min/Max/Avg columns of Table 3.3.
+type Stats struct {
+	Min, Max, Avg float64
+	Samples       []float64
+}
+
+func summarize(samples []float64) Stats {
+	st := Stats{Min: math.Inf(1), Max: math.Inf(-1), Samples: samples}
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	sum := 0.0
+	for _, s := range samples {
+		if s < st.Min {
+			st.Min = s
+		}
+		if s > st.Max {
+			st.Max = s
+		}
+		sum += s
+	}
+	st.Avg = sum / float64(len(samples))
+	return st
+}
+
+// StreamConfig parameterises the one-way UDP stream method.
+type StreamConfig struct {
+	// S1 and S2 are the two probe payload sizes in bytes; §3.3.2's
+	// rules apply. OptimalSizes derives good values from the MTU.
+	S1, S2 int
+	// ProbesPerSize is how many probes of each size go into a single
+	// estimate; the minimum RTT per size filters queueing noise.
+	// Defaults to 8.
+	ProbesPerSize int
+	// Runs is how many independent estimates to compute (the rows
+	// behind Table 3.3's Min/Max/Avg). Defaults to 5.
+	Runs int
+}
+
+func (c *StreamConfig) setDefaults() error {
+	if c.S1 <= 0 || c.S2 <= 0 {
+		return fmt.Errorf("bwest: probe sizes must be positive, got %d and %d", c.S1, c.S2)
+	}
+	if c.S2 <= c.S1 {
+		return fmt.Errorf("bwest: need S2 > S1, got S1=%d S2=%d", c.S1, c.S2)
+	}
+	if c.ProbesPerSize <= 0 {
+		c.ProbesPerSize = 8
+	}
+	if c.Runs <= 0 {
+		c.Runs = 5
+	}
+	return nil
+}
+
+// OptimalSizes applies the §3.3.2 probe-size rules to an interface
+// MTU: both sizes above the MTU so Speed_init cancels, as small as
+// possible, and with equal fragment counts (two fragments each). For
+// MTU 1500 this yields the thesis's preferred 1600/2900 pair.
+func OptimalSizes(mtu int) (s1, s2 int) {
+	if mtu <= 0 {
+		return 1600, 2900
+	}
+	return mtu + 100, 2*mtu - 100
+}
+
+// minRTT probes size k times and returns the smallest RTT observed.
+// Queueing delay is strictly additive, so the minimum approaches the
+// noise-free delay of Eq. 3.6.
+func minRTT(p Prober, size, k int) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < k; i++ {
+		if d := p.ProbeRTT(size); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// EstimateOnce computes a single available-bandwidth estimate in bits
+// per second using Eq. 3.5.
+func EstimateOnce(p Prober, cfg StreamConfig) (float64, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return 0, err
+	}
+	t1 := minRTT(p, cfg.S1, cfg.ProbesPerSize)
+	t2 := minRTT(p, cfg.S2, cfg.ProbesPerSize)
+	dt := t2 - t1
+	if dt <= 0 {
+		return 0, fmt.Errorf("bwest: non-increasing delay (T1=%v T2=%v); path too noisy for sizes %d/%d",
+			t1, t2, cfg.S1, cfg.S2)
+	}
+	bytesPerSec := float64(cfg.S2-cfg.S1) / dt.Seconds()
+	return bytesPerSec * 8, nil
+}
+
+// Estimate runs the one-way UDP stream method cfg.Runs times and
+// summarises the results (a Table 3.3 row).
+func Estimate(p Prober, cfg StreamConfig) (Stats, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Stats{}, err
+	}
+	samples := make([]float64, 0, cfg.Runs)
+	var lastErr error
+	for i := 0; i < cfg.Runs; i++ {
+		b, err := EstimateOnce(p, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		samples = append(samples, b)
+	}
+	if len(samples) == 0 {
+		return Stats{}, fmt.Errorf("bwest: all %d runs failed: %w", cfg.Runs, lastErr)
+	}
+	return summarize(samples), nil
+}
+
+// RTTPoint is one sample of the RTT-versus-packet-size sweeps behind
+// Figs 3.3–3.6.
+type RTTPoint struct {
+	Size int
+	RTT  time.Duration
+}
+
+// RTTSweep probes payload sizes from 1 to maxSize in the given step
+// (the thesis sweeps 1..6000 step 10) and returns the curve.
+func RTTSweep(p Prober, maxSize, step int) []RTTPoint {
+	if step <= 0 {
+		step = 10
+	}
+	var pts []RTTPoint
+	for s := 1; s <= maxSize; s += step {
+		pts = append(pts, RTTPoint{Size: s, RTT: p.ProbeRTT(s)})
+	}
+	return pts
+}
+
+// FitSlopes fits the RTT curve with two linear segments split at the
+// given threshold and returns the two slopes in seconds per byte.
+// Slope1 covers sizes ≤ threshold, Slope2 sizes > threshold; the
+// thesis predicts Slope1 = 1/B + 1/Speed_init and Slope2 = 1/B
+// (§3.3.2), so Slope1 > Slope2 reveals the MTU break.
+func FitSlopes(pts []RTTPoint, threshold int) (slope1, slope2 float64) {
+	var lo, hi []RTTPoint
+	for _, pt := range pts {
+		if pt.Size <= threshold {
+			lo = append(lo, pt)
+		} else {
+			hi = append(hi, pt)
+		}
+	}
+	return fitLine(lo), fitLine(hi)
+}
+
+// fitLine returns the least-squares slope of RTT (seconds) over size
+// (bytes).
+func fitLine(pts []RTTPoint) float64 {
+	s, _, _ := fitLineFull(pts)
+	return s
+}
+
+// fitLineFull returns the least-squares slope, intercept and residual
+// sum of squares of RTT (seconds) over size (bytes).
+func fitLineFull(pts []RTTPoint) (slope, intercept, sse float64) {
+	n := float64(len(pts))
+	if n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := float64(p.Size)
+		y := p.RTT.Seconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	for _, p := range pts {
+		r := p.RTT.Seconds() - (slope*float64(p.Size) + intercept)
+		sse += r * r
+	}
+	return slope, intercept, sse
+}
+
+// DetectMTU estimates the slope-break threshold of an RTT sweep — how
+// an operator reads the knee off Figs 3.3–3.5 without knowing the
+// interface MTU. It is a changepoint fit: the split minimising the
+// total residual error of two independent line segments, accepted
+// only when the low-side slope exceeds the high side (the Eq. 3.6
+// signature).
+func DetectMTU(pts []RTTPoint) int {
+	if len(pts) < 8 {
+		return 0
+	}
+	// Candidate thresholds leave at least a handful of points on each
+	// side so both fits are meaningful.
+	margin := 4
+	if len(pts)/32 > margin {
+		margin = len(pts) / 32
+	}
+	bestSize := 0
+	bestSSE := math.Inf(1)
+	for i := margin; i < len(pts)-margin; i++ {
+		lo := pts[:i+1]
+		hi := pts[i+1:]
+		s1, _, e1 := fitLineFull(lo)
+		s2, _, e2 := fitLineFull(hi)
+		if s1 <= s2 {
+			continue // not a knee of the right shape
+		}
+		if sse := e1 + e2; sse < bestSSE {
+			bestSSE = sse
+			bestSize = pts[i].Size
+		}
+	}
+	return bestSize
+}
+
+// Pipechar is the packet-pair baseline: it derives the bottleneck
+// rate from the echo dispersion of back-to-back pairs. It is
+// single-ended and quick but, as §3.3.1 notes, "highly sensitive to
+// network delay variations" — the noise goes straight into the gap.
+type Pipechar struct {
+	// Payload per probe; defaults to 1472 (a full Ethernet frame).
+	Payload int
+	// Pairs to send; the median gap is used. Defaults to 16.
+	Pairs int
+}
+
+// Estimate returns the estimated bottleneck bandwidth in bits/s.
+func (pc Pipechar) Estimate(p PairProber) (float64, error) {
+	payload := pc.Payload
+	if payload <= 0 {
+		payload = 1472
+	}
+	pairs := pc.Pairs
+	if pairs <= 0 {
+		pairs = 16
+	}
+	gaps := make([]time.Duration, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		if g := p.ProbePair(payload); g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0, fmt.Errorf("bwest: pipechar got no usable pair gaps")
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	med := gaps[len(gaps)/2]
+	wire := payload + 28 + 18 // IP+UDP headers plus frame overhead
+	return float64(wire*8) / med.Seconds(), nil
+}
+
+// Pathload is the SLoPS baseline: a binary search on stream rate,
+// declaring a rate "above the available bandwidth" when one-way
+// delays trend upward across the stream (§3.3.1). Needs cooperation
+// from the far end (the StreamSender), like the real tool.
+type Pathload struct {
+	// Lo and Hi bracket the search in bits/s. Defaults 1e6..1e9.
+	Lo, Hi float64
+	// StreamLen is packets per stream. Defaults to 60.
+	StreamLen int
+	// Payload per packet. Defaults to 300 bytes, pathload's default
+	// region.
+	Payload int
+	// Iterations of the binary search. Defaults to 12.
+	Iterations int
+}
+
+// Estimate returns the converged [low, high] available-bandwidth
+// range in bits/s, like the real pathload's "96.1~101.3" output.
+func (pl Pathload) Estimate(s StreamSender) (lo, hi float64, err error) {
+	if pl.Lo <= 0 {
+		pl.Lo = 1e6
+	}
+	if pl.Hi <= pl.Lo {
+		pl.Hi = 1e9
+	}
+	if pl.StreamLen <= 0 {
+		pl.StreamLen = 60
+	}
+	if pl.Payload <= 0 {
+		pl.Payload = 300
+	}
+	if pl.Iterations <= 0 {
+		pl.Iterations = 12
+	}
+	lo, hi = pl.Lo, pl.Hi
+	for i := 0; i < pl.Iterations; i++ {
+		rate := (lo + hi) / 2
+		delays := s.SendStream(pl.Payload, pl.StreamLen, rate)
+		if len(delays) < 4 {
+			return 0, 0, fmt.Errorf("bwest: pathload stream returned %d delays", len(delays))
+		}
+		if increasingTrend(delays) {
+			hi = rate // congested: rate exceeds available bandwidth
+		} else {
+			lo = rate
+		}
+	}
+	return lo, hi, nil
+}
+
+// increasingTrend applies pathload's pairwise comparison test: the
+// stream is "increasing" when clearly more than half of consecutive
+// deltas are positive.
+func increasingTrend(delays []time.Duration) bool {
+	inc := 0
+	for i := 1; i < len(delays); i++ {
+		if delays[i] > delays[i-1] {
+			inc++
+		}
+	}
+	return float64(inc) > 0.60*float64(len(delays)-1)
+}

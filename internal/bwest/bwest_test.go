@@ -1,0 +1,272 @@
+package bwest
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"smartsock/internal/simnet"
+)
+
+// thesisPath is the 100 Mbps / MTU 1500 / Speed_init 25 Mbps campus
+// path of §3.3.2 with mild LAN jitter.
+func thesisPath(t testing.TB, jitter float64, seed int64) *simnet.Path {
+	t.Helper()
+	p, err := simnet.New(simnet.Config{
+		Name:        "sagit-suna",
+		MTU:         1500,
+		SpeedInit:   25e6,
+		SysOverhead: 50 * time.Microsecond,
+		Jitter:      jitter,
+		Seed:        seed,
+		Hops: []simnet.Hop{
+			{Capacity: 100e6, PropDelay: 20 * time.Microsecond, ProcDelay: 2 * time.Microsecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptimalSizes(t *testing.T) {
+	s1, s2 := OptimalSizes(1500)
+	if s1 != 1600 || s2 != 2900 {
+		t.Errorf("OptimalSizes(1500) = %d,%d, want 1600,2900 (thesis group 7)", s1, s2)
+	}
+	s1, s2 = OptimalSizes(0)
+	if s1 != 1600 || s2 != 2900 {
+		t.Errorf("OptimalSizes(0) fallback = %d,%d", s1, s2)
+	}
+	s1, s2 = OptimalSizes(1000)
+	if s1 <= 1000 || s2 <= s1 {
+		t.Errorf("OptimalSizes(1000) = %d,%d violates the rules", s1, s2)
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	p := thesisPath(t, 0, 1)
+	if _, err := EstimateOnce(p, StreamConfig{S1: 0, S2: 100}); err == nil {
+		t.Error("accepted S1=0")
+	}
+	if _, err := EstimateOnce(p, StreamConfig{S1: 200, S2: 100}); err == nil {
+		t.Error("accepted S2 < S1")
+	}
+}
+
+func TestUDPStreamAccurateAboveMTU(t *testing.T) {
+	// Table 3.3, group 7: with S1=1600, S2=2900 the estimate lands
+	// near the true available bandwidth.
+	p := thesisPath(t, 0.02, 7)
+	st, err := Estimate(p, StreamConfig{S1: 1600, S2: 2900, Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := p.EffectiveBandwidth()
+	if math.Abs(st.Avg-truth)/truth > 0.15 {
+		t.Errorf("avg estimate %.1f Mbps, truth %.1f Mbps", st.Avg/1e6, truth/1e6)
+	}
+}
+
+func TestUDPStreamUnderestimatesBelowMTU(t *testing.T) {
+	// Table 3.3, groups 1–3: with both sizes below the MTU, Eq. 3.7
+	// predicts 1/B' = 1/B + 1/Speed_init ⇒ ≈20 Mbps on a ≈95 Mbps
+	// path with Speed_init 25 Mbps.
+	p := thesisPath(t, 0.02, 3)
+	st, err := Estimate(p, StreamConfig{S1: 100, S2: 500, Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.EffectiveBandwidth()
+	want := 1 / (1/b + 1/25e6)
+	if math.Abs(st.Avg-want)/want > 0.2 {
+		t.Errorf("sub-MTU estimate %.1f Mbps, want ≈%.1f Mbps (Eq. 3.7)", st.Avg/1e6, want/1e6)
+	}
+	if st.Avg > 0.35*b {
+		t.Errorf("sub-MTU estimate %.1f Mbps not clearly below truth %.1f Mbps", st.Avg/1e6, b/1e6)
+	}
+}
+
+func TestUDPStreamTracksCrossTraffic(t *testing.T) {
+	// The whole point of the method: estimates follow available
+	// bandwidth as cross traffic changes.
+	p := thesisPath(t, 0.02, 11)
+	cfg := StreamConfig{S1: 1600, S2: 2900, Runs: 3}
+	idle, err := Estimate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetUtilization(0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Estimate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Avg >= idle.Avg*0.7 {
+		t.Errorf("estimate barely moved under 60%% load: idle %.1f, loaded %.1f Mbps",
+			idle.Avg/1e6, loaded.Avg/1e6)
+	}
+}
+
+func TestEstimateFailsOnNonIncreasingDelay(t *testing.T) {
+	// A prober that returns constant RTTs (e.g. all probes lost and
+	// clamped) must produce an error, not a division by zero.
+	if _, err := EstimateOnce(constProber(time.Millisecond), StreamConfig{S1: 100, S2: 200}); err == nil {
+		t.Error("expected error for flat RTT curve")
+	}
+}
+
+type constProber time.Duration
+
+func (c constProber) ProbeRTT(int) time.Duration { return time.Duration(c) }
+
+func TestRTTSweepAndDetectMTU(t *testing.T) {
+	// Figs 3.3–3.5: the sweep's knee sits near the configured MTU.
+	for _, mtu := range []int{1500, 1000, 500} {
+		p, err := simnet.New(simnet.Config{
+			Name: "knee", MTU: mtu, SpeedInit: 25e6, Jitter: 0.01, Seed: 2,
+			Hops: []simnet.Hop{{Capacity: 100e6}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := RTTSweep(p, 6000, 10)
+		if len(pts) != 600 {
+			t.Fatalf("sweep returned %d points", len(pts))
+		}
+		knee := DetectMTU(pts)
+		if d := math.Abs(float64(knee - mtu)); d > float64(mtu)*0.15 {
+			t.Errorf("MTU %d: detected knee at %d", mtu, knee)
+		}
+	}
+}
+
+func TestDetectMTUShadowedOnWAN(t *testing.T) {
+	// Observation 4 (§3.3.2): a large, noisy base RTT hides the
+	// threshold. The detector should not find a knee anywhere near a
+	// clean MTU break — the slope gain must be tiny relative to noise.
+	p, err := simnet.New(simnet.Config{
+		Name: "wan", MTU: 1500, SpeedInit: 25e6, Jitter: 0.25, Seed: 5,
+		Hops: []simnet.Hop{
+			{Capacity: 100e6, PropDelay: time.Millisecond},
+			{Capacity: 155e6, PropDelay: 60 * time.Millisecond, Utilization: 0.4},
+			{Capacity: 100e6, PropDelay: 2 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := RTTSweep(p, 6000, 10)
+	s1, s2 := FitSlopes(pts, 1500)
+	// On the LAN the slope drop is ≈ 1/Speed_init; here noise drowns
+	// it, so the measured drop is not a reliable signal.
+	gain := s1 - s2
+	ref := 8.0 / 25e6
+	if gain > ref*3 {
+		t.Errorf("WAN slope gain %.3g suspiciously clean (ref %.3g)", gain, ref)
+	}
+}
+
+func TestFitSlopesOnSyntheticLine(t *testing.T) {
+	mk := func(slope float64, n int) []RTTPoint {
+		pts := make([]RTTPoint, n)
+		for i := range pts {
+			size := (i + 1) * 10
+			pts[i] = RTTPoint{Size: size, RTT: time.Duration(slope * float64(size) * float64(time.Second))}
+		}
+		return pts
+	}
+	pts := mk(2e-6, 100)
+	s1, s2 := FitSlopes(pts, 500)
+	if math.Abs(s1-2e-6) > 1e-9 || math.Abs(s2-2e-6) > 1e-9 {
+		t.Errorf("slopes = %g, %g, want 2e-6", s1, s2)
+	}
+	if fitLine(nil) != 0 || fitLine(pts[:1]) != 0 {
+		t.Error("degenerate fits should return 0")
+	}
+}
+
+func TestPipecharOnQuietPath(t *testing.T) {
+	// §2.1/§3.3.1: pipechar nails the bottleneck capacity on quiet
+	// paths (Table 3.3 reports 95.346 Mbps on the 100BT link).
+	p := thesisPath(t, 0.01, 13)
+	got, err := Pipechar{}.Estimate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100e6)/100e6 > 0.1 {
+		t.Errorf("pipechar = %.1f Mbps, want ≈100", got/1e6)
+	}
+}
+
+func TestPipecharDegradesUnderDelayVariation(t *testing.T) {
+	// §3.3.1: "for networks under heavy load or with high delay
+	// variations, pipechar will report wrong results."
+	quiet := thesisPath(t, 0.01, 17)
+	noisy, err := simnet.New(simnet.Config{
+		Name: "noisy", MTU: 1500, SpeedInit: 25e6, Jitter: 0.8, Seed: 17,
+		Hops: []simnet.Hop{
+			{Capacity: 100e6, PropDelay: 20 * time.Millisecond, Utilization: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qEst, err := Pipechar{}.Estimate(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nEst, err := Pipechar{}.Estimate(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qErr := math.Abs(qEst-100e6) / 100e6
+	nErr := math.Abs(nEst-100e6) / 100e6
+	if nErr <= qErr {
+		t.Errorf("pipechar error did not grow with delay variation: quiet %.2f vs noisy %.2f", qErr, nErr)
+	}
+}
+
+func TestPathloadBracketsAvailableBandwidth(t *testing.T) {
+	// Table 3.3 reports pathload 96.1~101.3 on the ≈95 Mbps path: the
+	// SLoPS search converges around the true available bandwidth.
+	p := thesisPath(t, 0.02, 19)
+	lo, hi, err := Pathload{Lo: 1e6, Hi: 1e9}.Estimate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := p.AvailableBandwidth()
+	if lo > truth*1.15 || hi < truth*0.85 {
+		t.Errorf("pathload range [%.1f, %.1f] Mbps does not bracket truth %.1f",
+			lo/1e6, hi/1e6, truth/1e6)
+	}
+	if hi < lo {
+		t.Error("inverted range")
+	}
+}
+
+func TestPathloadTracksCrossTraffic(t *testing.T) {
+	p := thesisPath(t, 0.02, 23)
+	if err := p.SetUtilization(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := Pathload{Lo: 1e6, Hi: 1e9}.Estimate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (lo + hi) / 2
+	if math.Abs(mid-50e6)/50e6 > 0.3 {
+		t.Errorf("pathload mid %.1f Mbps under 50%% load, want ≈50", mid/1e6)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := summarize([]float64{3, 1, 2})
+	if st.Min != 1 || st.Max != 3 || st.Avg != 2 {
+		t.Errorf("summarize = %+v", st)
+	}
+	if z := summarize(nil); z.Min != 0 || z.Max != 0 || z.Avg != 0 {
+		t.Errorf("empty summarize = %+v", z)
+	}
+}

@@ -1,0 +1,220 @@
+// Package core implements the wizard's server selection engine
+// (§3.6.1): given the three status databases and a parsed requirement
+// program, it evaluates every candidate server, applies the user's
+// denied/preferred host lists, and returns the best server set.
+//
+// This is the paper's primary contribution distilled: selection moves
+// out of each middleware and into a shared socket-level service, so
+// any number of middleware implementations can share one set of
+// probes and monitors.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smartsock/internal/proto"
+	"smartsock/internal/reqlang"
+	"smartsock/internal/store"
+)
+
+// Config holds the deployment-specific knowledge the selector needs
+// beyond the databases themselves.
+type Config struct {
+	// LocalMonitor names the network monitor of the requesting
+	// client's group; monitor_network_delay/bw for a server are the
+	// metrics from this monitor to the server's group (§3.3.3).
+	LocalMonitor string
+	// GroupOf maps a server host to its network monitor's name. Nil
+	// means network variables are unavailable (single-group
+	// deployments, where LAN metrics do not matter per §3.3.3).
+	GroupOf func(host string) string
+	// ServicePort is appended to selected hosts that carry no port of
+	// their own, producing dialable addresses.
+	ServicePort int
+}
+
+// Decision records why one server was accepted or rejected — the
+// explanations behind a Fig 1.4-style walkthrough.
+type Decision struct {
+	Host       string
+	Qualified  bool
+	Preferred  bool
+	Denied     bool
+	FailedLine int
+	Score      float64
+	HasScore   bool
+	Err        error
+}
+
+// Result is a full selection outcome.
+type Result struct {
+	// Servers are the chosen addresses, best first, capped at the
+	// requested count.
+	Servers []string
+	// Decisions covers every live server, in evaluation order.
+	Decisions []Decision
+	// Shortfall is how many requested servers could not be found.
+	Shortfall int
+}
+
+// Selector evaluates requirements against the status database.
+type Selector struct {
+	cfg Config
+	db  *store.DB
+}
+
+// New builds a selector over the given database.
+func New(db *store.DB, cfg Config) (*Selector, error) {
+	if db == nil {
+		return nil, fmt.Errorf("core: nil database")
+	}
+	return &Selector{cfg: cfg, db: db}, nil
+}
+
+// Select picks up to n servers satisfying the requirement. Options
+// follow proto: OptPartialOK permits a short list, OptRankByExpr
+// ranks qualified servers by the requirement's score expression
+// (highest first) instead of first-found order.
+func (s *Selector) Select(prog *reqlang.Program, n int, opt proto.Option) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("core: requested %d servers", n)
+	}
+	if n > proto.MaxServers {
+		// The reply must fit one UDP datagram (§3.6.1).
+		n = proto.MaxServers
+	}
+
+	recs := s.db.Sys() // sorted by host: deterministic scan order
+	result := Result{Decisions: make([]Decision, 0, len(recs))}
+
+	type scored struct {
+		addr      string
+		preferred int // index in the preferred list, -1 if not
+		score     float64
+		hasScore  bool
+		order     int
+	}
+	var candidates []scored
+
+	for i, rec := range recs {
+		host := rec.Status.Host
+		env := s.buildEnv(&rec)
+		res := prog.Eval(env)
+		d := Decision{
+			Host:       host,
+			Qualified:  res.Qualified,
+			FailedLine: res.FailedLine,
+			Score:      res.Score,
+			HasScore:   res.HasScore,
+			Err:        res.Err,
+		}
+		if denyIdx := matchHost(host, res.Denied); denyIdx >= 0 {
+			d.Denied = true
+			d.Qualified = false
+		}
+		prefIdx := matchHost(host, res.Preferred)
+		d.Preferred = prefIdx >= 0
+		result.Decisions = append(result.Decisions, d)
+		if !d.Qualified {
+			continue
+		}
+		candidates = append(candidates, scored{
+			addr:      s.dialAddr(host),
+			preferred: prefIdx,
+			score:     res.Score,
+			hasScore:  res.HasScore,
+			order:     i,
+		})
+	}
+
+	sort.SliceStable(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		// Preferred servers "will always be selected first when
+		// available" (§3.6.1), in the order the user listed them.
+		aPref, bPref := a.preferred >= 0, b.preferred >= 0
+		if aPref != bPref {
+			return aPref
+		}
+		if aPref && a.preferred != b.preferred {
+			return a.preferred < b.preferred
+		}
+		if opt&proto.OptRankByExpr != 0 && a.hasScore && b.hasScore && a.score != b.score {
+			return a.score > b.score
+		}
+		return a.order < b.order
+	})
+
+	for _, c := range candidates {
+		if len(result.Servers) == n {
+			break
+		}
+		result.Servers = append(result.Servers, c.addr)
+	}
+	result.Shortfall = n - len(result.Servers)
+	if result.Shortfall > 0 && opt&proto.OptPartialOK == 0 {
+		return result, fmt.Errorf("core: only %d of %d requested servers qualify", len(result.Servers), n)
+	}
+	return result, nil
+}
+
+// buildEnv assembles the per-server variable bindings: the 22
+// status-report variables plus the network metrics of the server's
+// group and its security level.
+func (s *Selector) buildEnv(rec *store.SysRecord) *reqlang.Env {
+	params := rec.Status.Vars()
+	if s.cfg.GroupOf != nil && s.cfg.LocalMonitor != "" {
+		group := s.cfg.GroupOf(rec.Status.Host)
+		if group == s.cfg.LocalMonitor {
+			// Same group: the thesis assumes LAN metrics are always
+			// sufficient (§3.3.3); expose zero delay and a very large
+			// bandwidth so network constraints never reject local
+			// servers.
+			params["monitor_network_delay"] = 0
+			params["monitor_network_bw"] = 1e5 // Mbps; effectively infinite
+		} else if group != "" {
+			if nr, ok := s.db.GetNet(s.cfg.LocalMonitor, group); ok {
+				// Delay in milliseconds, bandwidth in Mbps: the units
+				// the thesis requirements use ("delay < 20",
+				// "monitor_network_bw > 6").
+				params["monitor_network_delay"] = float64(nr.Metric.Delay.Milliseconds())
+				params["monitor_network_bw"] = nr.Metric.Bandwidth / 1e6
+			}
+			// No record: the variables stay undefined, so requirements
+			// referencing them reject the server — safe default.
+		}
+	}
+	if sec, ok := s.db.GetSec(rec.Status.Host); ok {
+		params["host_security_level"] = float64(sec.Level.Level)
+	}
+	return &reqlang.Env{Params: params}
+}
+
+// dialAddr renders a host as a dialable address.
+func (s *Selector) dialAddr(host string) string {
+	if s.cfg.ServicePort <= 0 || strings.Contains(host, ":") {
+		return host
+	}
+	return fmt.Sprintf("%s:%d", host, s.cfg.ServicePort)
+}
+
+// matchHost finds host in a user-supplied list, matching
+// case-insensitively and ignoring any port suffix on either side. It
+// returns the index, or -1.
+func matchHost(host string, list []string) int {
+	h := stripPort(host)
+	for i, entry := range list {
+		if strings.EqualFold(h, stripPort(entry)) {
+			return i
+		}
+	}
+	return -1
+}
+
+func stripPort(s string) string {
+	if i := strings.LastIndexByte(s, ':'); i >= 0 && !strings.Contains(s[i+1:], ".") {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure in the
+// thesis's measurement and evaluation chapters (Chapters 3–5). Each
+// experiment is a named function returning a Table — the same rows
+// the paper prints — runnable individually through cmd/smartbench or
+// in bulk. The EXPERIMENTS.md file at the repository root records
+// paper-versus-measured values for each one.
+//
+// Two fidelity levels exist: the default sizes make trends obvious
+// and finish in seconds; Quick mode shrinks sweeps and transfers for
+// use inside go test and testing.B loops.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated table or figure, rendered as rows.
+type Table struct {
+	ID      string // "table5.3", "fig3.7", …
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render prints the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes a run.
+type Options struct {
+	// Quick shrinks workloads for test/bench use.
+	Quick bool
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// Fn runs one experiment.
+type Fn func(Options) (*Table, error)
+
+// registry maps experiment IDs to implementations. Populated by the
+// per-chapter files' init functions.
+var registry = map[string]Fn{}
+
+func register(id string, fn Fn) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = fn
+}
+
+// IDs lists all registered experiments in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opts Options) (*Table, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return fn(opts)
+}
+
+// formatting helpers shared by the experiment files.
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func mbps(bitsPerSec float64) string { return fmt.Sprintf("%.2f", bitsPerSec/1e6) }
+
+func pct(delta, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", delta/base*100)
+}
+
+// registerAlias exposes a figure that plots an already-registered
+// table's data under its own ID, so the registry covers every figure
+// in the thesis by name.
+func registerAlias(figID, tableID, caption string) {
+	register(figID, func(o Options) (*Table, error) {
+		t, err := Run(tableID, o)
+		if err != nil {
+			return nil, err
+		}
+		t.ID = figID
+		t.Notes = append(t.Notes, caption)
+		return t, nil
+	})
+}
+
+func init() {
+	registerAlias("fig3.7", "table3.3", "Fig 3.7 is the bar-chart rendering of Table 3.3")
+	registerAlias("fig5.4", "table5.7", "Fig 5.4 plots the Table 5.7 throughputs")
+	registerAlias("fig5.5", "table5.8", "Fig 5.5 plots the Table 5.8 throughputs")
+	registerAlias("fig5.6", "table5.9", "Fig 5.6 plots the Table 5.9 throughputs")
+}

@@ -1,0 +1,152 @@
+// Package matrix implements the thesis's first evaluation
+// application (§5.3.1, Appendix C): a square matrix multiplication
+// program with a local mode ("the 2 input matrices will be multiplied
+// in a vector multiplication way") and a distributed mode, where the
+// master partitions the result into blocks, ships the matching input
+// rows and columns to worker servers over the sockets the Smart
+// library returned, and assembles the result blocks as they come
+// back.
+//
+// The paper's testbed has heterogeneous CPUs (P3-866 to P4-2.4);
+// here all workers run on one machine, so a Worker carries a
+// SpeedFactor that stretches its compute time to match a slower
+// processor. The benchmark step of Fig 5.2 measures exactly these
+// factors back out.
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %dx%d", rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// NewRandom fills a matrix with deterministic pseudo-random entries.
+func NewRandom(rows, cols int, seed int64) (*Matrix, error) {
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Equal reports whether two matrices match within eps.
+func (m *Matrix) Equal(other *Matrix, eps float64) bool {
+	if other == nil || m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - other.Data[i]
+		if d > eps || d < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Rows is not stored per-block; helpers below slice matrices for the
+// distributed protocol.
+
+// RowBlock copies rows [r0, r1) into a new (r1−r0)×Cols matrix.
+func (m *Matrix) RowBlock(r0, r1 int) (*Matrix, error) {
+	if r0 < 0 || r1 > m.Rows || r0 >= r1 {
+		return nil, fmt.Errorf("matrix: bad row block [%d,%d) of %d", r0, r1, m.Rows)
+	}
+	out := &Matrix{Rows: r1 - r0, Cols: m.Cols}
+	out.Data = append([]float64(nil), m.Data[r0*m.Cols:r1*m.Cols]...)
+	return out, nil
+}
+
+// ColBlock copies columns [c0, c1) into a new Rows×(c1−c0) matrix.
+func (m *Matrix) ColBlock(c0, c1 int) (*Matrix, error) {
+	if c0 < 0 || c1 > m.Cols || c0 >= c1 {
+		return nil, fmt.Errorf("matrix: bad col block [%d,%d) of %d", c0, c1, m.Cols)
+	}
+	w := c1 - c0
+	out := &Matrix{Rows: m.Rows, Cols: w, Data: make([]float64, m.Rows*w)}
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*w:(i+1)*w], m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return out, nil
+}
+
+// MultiplyLocal computes a×b the way the thesis's local mode does:
+// plain row-by-column vector products.
+func MultiplyLocal(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("matrix: %dx%d × %dx%d shapes do not chain", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	c, err := NewMatrix(a.Rows, b.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c, nil
+}
+
+// Blocks enumerates the blk×blk result tiles of an n×n product, the
+// unit of distribution (Appendix C.1: "the entries in the input
+// matrices are transferred to the available servers"). Tail blocks
+// are smaller when blk does not divide n.
+type Block struct {
+	R0, R1, C0, C1 int
+}
+
+// Blocks returns the tile list for an n×n result with tile size blk.
+func Blocks(n, blk int) ([]Block, error) {
+	if n <= 0 || blk <= 0 {
+		return nil, fmt.Errorf("matrix: invalid n=%d blk=%d", n, blk)
+	}
+	if blk > n {
+		blk = n
+	}
+	var out []Block
+	for r := 0; r < n; r += blk {
+		r1 := r + blk
+		if r1 > n {
+			r1 = n
+		}
+		for c := 0; c < n; c += blk {
+			c1 := c + blk
+			if c1 > n {
+				c1 = n
+			}
+			out = append(out, Block{R0: r, R1: r1, C0: c, C1: c1})
+		}
+	}
+	return out, nil
+}

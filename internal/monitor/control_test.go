@@ -1,0 +1,84 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"smartsock/internal/probe"
+	"smartsock/internal/sysinfo"
+)
+
+// TestSelectedParametersControlLoop exercises the Chapter 6 extension
+// end to end: the monitor is told which parameter groups matter
+// (derived from requirement-variable statistics); its control reply
+// rides the next report's return path; the probe narrows subsequent
+// reports accordingly.
+func TestSelectedParametersControlLoop(t *testing.T) {
+	m, db, _ := startMonitor(t, Config{Interval: time.Second})
+
+	src := sysinfo.NewSynthetic(sysinfo.Idle("ctl", 2222, 256))
+	p, err := probe.New(probe.Config{Source: src, Monitor: m.Addr(), Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First report: full status arrives, no control configured.
+	if err := p.ReportOnce(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return db.SysLen() == 1 })
+	rec, _ := db.GetSys("ctl")
+	if rec.Status.MemTotal == 0 || rec.Status.Load1 == 0 {
+		t.Fatal("initial report already masked")
+	}
+
+	// An operator (or the wizard's VarStats) decides only load and CPU
+	// matter.
+	mask := probe.MaskForVariables([]string{"host_system_load1", "host_cpu_free"})
+	if mask != probe.FieldLoad|probe.FieldCPU {
+		t.Fatalf("MaskForVariables = %b", mask)
+	}
+	m.SetReportMask(uint8(mask))
+
+	// The next report triggers the control reply; the probe applies
+	// it asynchronously and subsequent reports arrive narrowed. Keep
+	// reporting until the narrowed record shows up.
+	waitFor(t, 3*time.Second, func() bool {
+		if err := p.ReportOnce(); err != nil {
+			t.Fatal(err)
+		}
+		rec, ok := db.GetSys("ctl")
+		return ok && rec.Status.MemTotal == 0 && rec.Status.Load1 != 0
+	})
+
+	// Broadcasting FieldAll restores full reporting the same way.
+	m.SetReportMask(uint8(probe.FieldAll))
+	waitFor(t, 3*time.Second, func() bool {
+		if err := p.ReportOnce(); err != nil {
+			t.Fatal(err)
+		}
+		rec, ok := db.GetSys("ctl")
+		return ok && rec.Status.MemTotal != 0
+	})
+}
+
+func TestMaskForVariables(t *testing.T) {
+	cases := []struct {
+		vars []string
+		want probe.FieldMask
+	}{
+		{nil, 0},
+		{[]string{"host_system_load5"}, probe.FieldLoad},
+		{[]string{"host_cpu_bogomips", "host_cpu_free"}, probe.FieldCPU},
+		{[]string{"host_memory_free", "host_disk_rreq"}, probe.FieldMemory | probe.FieldDisk},
+		{[]string{"host_network_tbytesps"}, probe.FieldNetwork},
+		{[]string{"monitor_network_bw", "host_security_level"}, 0}, // not probe-measured
+		{[]string{"host_system_load1", "host_cpu_idle", "host_memory_used",
+			"host_disk_wblocks", "host_network_rbytesps"}, probe.FieldAll},
+	}
+	for _, c := range cases {
+		if got := probe.MaskForVariables(c.vars); got != c.want {
+			t.Errorf("MaskForVariables(%v) = %b, want %b", c.vars, got, c.want)
+		}
+	}
+}

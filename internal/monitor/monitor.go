@@ -1,0 +1,221 @@
+// Package monitor implements the system status monitor of §3.2.2: it
+// receives probe reports, upserts them into the shared status
+// database, and expires records whose probe has gone silent for
+// several intervals so that servers can join and leave the pool at
+// any time.
+//
+// Reports normally arrive as UDP datagrams; a TCP listener accepts
+// framed reports from probes running in the Chapter 6 TCP mode.
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+)
+
+// Config parameterises a system monitor.
+type Config struct {
+	// Addr is the listen address, host:port. Port 0 picks an ephemeral
+	// port; see Monitor.Addr.
+	Addr string
+	// DB is the shared status database the monitor writes.
+	DB *store.DB
+	// Interval is the expected probe interval; records older than
+	// MissedIntervals×Interval are expired. Defaults to 5 s.
+	Interval time.Duration
+	// MissedIntervals before a server is declared failed (§4.1 uses
+	// 3). Defaults to 3.
+	MissedIntervals int
+	// EnableTCP additionally listens for framed TCP reports on the
+	// same port number.
+	EnableTCP bool
+	// Logger receives decode errors; nil silences them.
+	Logger *log.Logger
+}
+
+// Monitor is a running system status monitor.
+type Monitor struct {
+	cfg      Config
+	udp      *net.UDPConn
+	tcp      net.Listener
+	received atomic.Uint64
+	expired  atomic.Uint64
+	// reportMask, when non-zero, is pushed back to every reporting
+	// probe as a control reply (Ch. 6 selected parameters): probes
+	// then measure and ship only the named groups. Zero means "report
+	// everything" and sends no control traffic.
+	reportMask atomic.Uint32
+}
+
+// SetReportMask instructs future probe replies to narrow reporting to
+// the given field mask (a probe.FieldMask value). Zero restores full
+// reporting and silences the control channel.
+func (m *Monitor) SetReportMask(mask uint8) { m.reportMask.Store(uint32(mask)) }
+
+// ReportMask returns the currently configured probe field mask.
+func (m *Monitor) ReportMask() uint8 { return uint8(m.reportMask.Load()) }
+
+// New binds the monitor's sockets. Call Run to start serving.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("monitor: nil database")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.MissedIntervals <= 0 {
+		cfg.MissedIntervals = 3
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: resolve %q: %w", cfg.Addr, err)
+	}
+	// With TCP enabled on an ephemeral port, the kernel-picked UDP
+	// port may already be taken on the TCP side by some other process;
+	// retry with a fresh pick rather than failing on the collision.
+	attempts := 1
+	if cfg.EnableTCP && udpAddr.Port == 0 {
+		attempts = 16
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		udp, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: listen udp: %w", err)
+		}
+		m := &Monitor{cfg: cfg, udp: udp}
+		if !cfg.EnableTCP {
+			return m, nil
+		}
+		tcp, err := net.Listen("tcp", udp.LocalAddr().String())
+		if err == nil {
+			m.tcp = tcp
+			return m, nil
+		}
+		udp.Close()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("monitor: listen tcp: %w", lastErr)
+}
+
+// Addr reports the bound UDP address (useful with port 0).
+func (m *Monitor) Addr() string { return m.udp.LocalAddr().String() }
+
+// Received reports how many valid reports have been ingested.
+func (m *Monitor) Received() uint64 { return m.received.Load() }
+
+// Expired reports how many server records have been expired.
+func (m *Monitor) Expired() uint64 { return m.expired.Load() }
+
+// Run serves until the context is cancelled.
+func (m *Monitor) Run(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		m.udp.Close()
+		if m.tcp != nil {
+			m.tcp.Close()
+		}
+	}()
+
+	if m.tcp != nil {
+		go m.serveTCP()
+	}
+	go m.expireLoop(ctx)
+
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := m.udp.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("monitor: read udp: %w", err)
+		}
+		if m.ingest(buf[:n]) {
+			if mask := m.ReportMask(); mask != 0 {
+				// Selected-parameters control reply (Ch. 6): ride the
+				// report's return path back to the probe.
+				if _, err := m.udp.WriteToUDP(status.EncodeControl(mask), from); err != nil {
+					m.logf("monitor: control reply to %v: %v", from, err)
+				}
+			}
+		}
+	}
+}
+
+func (m *Monitor) ingest(msg []byte) bool {
+	s, err := status.DecodeReport(msg)
+	if err != nil {
+		m.logf("monitor: dropping report: %v", err)
+		return false
+	}
+	m.cfg.DB.PutSys(*s)
+	m.received.Add(1)
+	return true
+}
+
+func (m *Monitor) serveTCP() {
+	for {
+		conn, err := m.tcp.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			c.SetReadDeadline(time.Now().Add(5 * time.Second))
+			for {
+				f, err := status.ReadFrame(c)
+				if err != nil {
+					return
+				}
+				if f.Type != status.TypeSystem {
+					m.logf("monitor: unexpected frame type %v over tcp", f.Type)
+					return
+				}
+				m.ingest(f.Data)
+			}
+		}(conn)
+	}
+}
+
+// expireLoop removes stale records at half the expiry horizon so a
+// dead server lingers at most MissedIntervals+0.5 intervals.
+func (m *Monitor) expireLoop(ctx context.Context) {
+	maxAge := time.Duration(m.cfg.MissedIntervals) * m.cfg.Interval
+	ticker := time.NewTicker(maxAge / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			gone := m.cfg.DB.ExpireSys(maxAge)
+			if len(gone) > 0 {
+				m.expired.Add(uint64(len(gone)))
+				m.logf("monitor: expired silent servers %v", gone)
+			}
+		}
+	}
+}
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,139 @@
+package netmon
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"smartsock/internal/simnet"
+	"smartsock/internal/store"
+)
+
+func mkPath(t *testing.T, name string, capacity float64, prop time.Duration, util float64) *simnet.Path {
+	t.Helper()
+	p, err := simnet.New(simnet.Config{
+		Name: name, MTU: 1500, SpeedInit: 25e6, Jitter: 0.02, Seed: 42,
+		Hops: []simnet.Hop{{Capacity: capacity, PropDelay: prop, Utilization: util}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	db := store.New()
+	if _, err := New(Config{DB: db}); err == nil {
+		t.Error("accepted empty name")
+	}
+	if _, err := New(Config{Name: "m"}); err == nil {
+		t.Error("accepted nil db")
+	}
+	if _, err := New(Config{Name: "m", DB: db, Peers: []Peer{{}}}); err == nil {
+		t.Error("accepted incomplete peer")
+	}
+}
+
+func TestProbeAllRecordsMetrics(t *testing.T) {
+	db := store.New()
+	m, err := New(Config{
+		Name: "netmon-1",
+		DB:   db,
+		Peers: []Peer{
+			{Name: "netmon-2", Prober: mkPath(t, "p2", 100e6, 2*time.Millisecond, 0), MTU: 1500},
+			{Name: "netmon-3", Prober: mkPath(t, "p3", 10e6, 8*time.Millisecond, 0.3), MTU: 1500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.ProbeAll(context.Background())
+	if len(got) != 2 {
+		t.Fatalf("probed %d peers, want 2", len(got))
+	}
+	r2, ok := db.GetNet("netmon-1", "netmon-2")
+	if !ok {
+		t.Fatal("no record for netmon-2")
+	}
+	r3, ok := db.GetNet("netmon-1", "netmon-3")
+	if !ok {
+		t.Fatal("no record for netmon-3")
+	}
+	// The fast path must report clearly more bandwidth and less delay
+	// than the slow loaded one (Table 3.4's whole point).
+	if r2.Metric.Bandwidth <= r3.Metric.Bandwidth {
+		t.Errorf("bw(netmon-2)=%.1f ≤ bw(netmon-3)=%.1f Mbps",
+			r2.Metric.Bandwidth/1e6, r3.Metric.Bandwidth/1e6)
+	}
+	if r2.Metric.Delay >= r3.Metric.Delay {
+		t.Errorf("delay(netmon-2)=%v ≥ delay(netmon-3)=%v", r2.Metric.Delay, r3.Metric.Delay)
+	}
+	// Estimates land in the right regime.
+	if math.Abs(r2.Metric.Bandwidth-100e6)/100e6 > 0.3 {
+		t.Errorf("bandwidth to netmon-2 = %.1f Mbps, want ≈100", r2.Metric.Bandwidth/1e6)
+	}
+	if r3.Metric.Delay < 4*time.Millisecond {
+		t.Errorf("one-way delay to netmon-3 = %v, want ≥ 4 ms", r3.Metric.Delay)
+	}
+	if m.Rounds() != 1 {
+		t.Errorf("Rounds = %d", m.Rounds())
+	}
+}
+
+func TestRunProbesPeriodically(t *testing.T) {
+	db := store.New()
+	m, err := New(Config{
+		Name:     "netmon-1",
+		DB:       db,
+		Interval: 20 * time.Millisecond,
+		Peers: []Peer{
+			{Name: "netmon-2", Prober: mkPath(t, "p", 100e6, time.Millisecond, 0), MTU: 1500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	m.Run(ctx)
+	if m.Rounds() < 2 {
+		t.Errorf("Rounds = %d after several intervals", m.Rounds())
+	}
+}
+
+func TestDefaultIntervalScalesWithPeers(t *testing.T) {
+	// §3.3.3: "The probing interval should get larger as the number of
+	// network paths increases."
+	db := store.New()
+	peers := make([]Peer, 5)
+	for i := range peers {
+		peers[i] = Peer{Name: "x", Prober: mkPath(t, "p", 1e6, 0, 0), MTU: 1500}
+	}
+	m, err := New(Config{Name: "n", DB: db, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.Interval != 10*time.Second {
+		t.Errorf("default interval = %v for 5 peers, want 10 s", m.cfg.Interval)
+	}
+}
+
+func TestProbeAllHonoursCancellation(t *testing.T) {
+	db := store.New()
+	m, err := New(Config{
+		Name: "n", DB: db,
+		Peers: []Peer{
+			{Name: "a", Prober: mkPath(t, "p", 1e6, 0, 0), MTU: 1500},
+			{Name: "b", Prober: mkPath(t, "p", 1e6, 0, 0), MTU: 1500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := m.ProbeAll(ctx); len(got) != 0 {
+		t.Errorf("cancelled ProbeAll measured %d peers", len(got))
+	}
+}

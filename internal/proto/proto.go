@@ -1,0 +1,143 @@
+// Package proto defines the UDP request/reply messages exchanged
+// between the client library and the wizard (Tables 3.5 and 3.6).
+//
+// A request is [sequence number, server number, option, request
+// detail]; the reply echoes the sequence number and carries the list
+// of selected server addresses. Both travel in single UDP datagrams,
+// which is why the thesis caps the number of returned servers at 60.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// MaxServers is the upper bound on servers returned in one reply; the
+// list must fit a single UDP datagram (§3.6.1).
+const MaxServers = 60
+
+// Option bits modify wizard behaviour (the thesis leaves the option
+// field open for "special situations"; these are the ones this
+// implementation defines).
+type Option uint16
+
+const (
+	// OptPartialOK tells the wizard to return fewer servers than
+	// requested when not enough qualify, instead of failing.
+	OptPartialOK Option = 1 << iota
+	// OptRankByExpr enables the Chapter 6 extension: the final
+	// non-logical expression in the requirement is used as a score and
+	// the top-N servers by that score are returned ("3 servers with
+	// largest memory").
+	OptRankByExpr
+	// OptTemplate asks the wizard to treat the request detail as the
+	// name of a predefined requirement template.
+	OptTemplate
+)
+
+// Request is a client's server request (Table 3.5).
+type Request struct {
+	Seq       uint32 // random number matching replies to requests
+	ServerNum uint16 // how many servers the caller wants
+	Option    Option
+	Detail    string // requirement text in the meta language
+}
+
+// Reply is the wizard's answer (Table 3.6).
+type Reply struct {
+	Seq     uint32
+	Servers []string // selected server addresses, best first
+	Err     string   // non-empty when the wizard rejected the request
+}
+
+const (
+	msgRequest = 0x51 // 'Q'
+	msgReply   = 0x52 // 'R'
+)
+
+// MarshalRequest encodes a request datagram.
+func MarshalRequest(r *Request) []byte {
+	b := make([]byte, 0, 16+len(r.Detail))
+	b = append(b, msgRequest)
+	b = binary.BigEndian.AppendUint32(b, r.Seq)
+	b = binary.BigEndian.AppendUint16(b, r.ServerNum)
+	b = binary.BigEndian.AppendUint16(b, uint16(r.Option))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Detail)))
+	return append(b, r.Detail...)
+}
+
+// UnmarshalRequest decodes a request datagram.
+func UnmarshalRequest(b []byte) (*Request, error) {
+	if len(b) < 13 {
+		return nil, fmt.Errorf("proto: request datagram too short (%d bytes)", len(b))
+	}
+	if b[0] != msgRequest {
+		return nil, fmt.Errorf("proto: not a request datagram (tag 0x%02x)", b[0])
+	}
+	r := &Request{
+		Seq:       binary.BigEndian.Uint32(b[1:]),
+		ServerNum: binary.BigEndian.Uint16(b[5:]),
+		Option:    Option(binary.BigEndian.Uint16(b[7:])),
+	}
+	n := binary.BigEndian.Uint32(b[9:])
+	if uint32(len(b)-13) != n {
+		return nil, fmt.Errorf("proto: request detail length %d does not match datagram (%d left)", n, len(b)-13)
+	}
+	r.Detail = string(b[13:])
+	return r, nil
+}
+
+// MarshalReply encodes a reply datagram. Server names may not contain
+// newlines; they are carried newline-separated after the header.
+func MarshalReply(r *Reply) ([]byte, error) {
+	if len(r.Servers) > MaxServers {
+		return nil, fmt.Errorf("proto: %d servers exceeds reply limit %d", len(r.Servers), MaxServers)
+	}
+	for _, s := range r.Servers {
+		if strings.ContainsAny(s, "\n") {
+			return nil, fmt.Errorf("proto: server name %q contains newline", s)
+		}
+	}
+	if strings.ContainsAny(r.Err, "\n") {
+		return nil, fmt.Errorf("proto: error text contains newline")
+	}
+	body := strings.Join(r.Servers, "\n")
+	b := make([]byte, 0, 16+len(body)+len(r.Err))
+	b = append(b, msgReply)
+	b = binary.BigEndian.AppendUint32(b, r.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Servers)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Err)))
+	b = append(b, r.Err...)
+	return append(b, body...), nil
+}
+
+// UnmarshalReply decodes a reply datagram.
+func UnmarshalReply(b []byte) (*Reply, error) {
+	if len(b) < 9 {
+		return nil, fmt.Errorf("proto: reply datagram too short (%d bytes)", len(b))
+	}
+	if b[0] != msgReply {
+		return nil, fmt.Errorf("proto: not a reply datagram (tag 0x%02x)", b[0])
+	}
+	r := &Reply{Seq: binary.BigEndian.Uint32(b[1:])}
+	n := int(binary.BigEndian.Uint16(b[5:]))
+	errLen := int(binary.BigEndian.Uint16(b[7:]))
+	b = b[9:]
+	if len(b) < errLen {
+		return nil, fmt.Errorf("proto: truncated reply error text")
+	}
+	r.Err = string(b[:errLen])
+	b = b[errLen:]
+	if n == 0 {
+		if len(b) != 0 {
+			return nil, fmt.Errorf("proto: trailing bytes in empty reply")
+		}
+		return r, nil
+	}
+	r.Servers = strings.Split(string(b), "\n")
+	if len(r.Servers) != n {
+		return nil, fmt.Errorf("proto: reply claims %d servers, carries %d", n, len(r.Servers))
+	}
+	return r, nil
+}

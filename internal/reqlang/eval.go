@@ -1,0 +1,420 @@
+package reqlang
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Value is the tagged union the evaluator computes: every expression
+// yields either a number or a string (network addresses and quoted
+// literals are strings).
+type Value struct {
+	Num   float64
+	Str   string
+	IsStr bool
+}
+
+// NumValue wraps a float64.
+func NumValue(v float64) Value { return Value{Num: v} }
+
+// StrValue wraps a string.
+func StrValue(s string) Value { return Value{Str: s, IsStr: true} }
+
+// Truthy reports the boolean reading of a value: a number is true
+// when non-zero, a string when non-empty.
+func (v Value) Truthy() bool {
+	if v.IsStr {
+		return v.Str != ""
+	}
+	return v.Num != 0
+}
+
+func (v Value) String() string {
+	if v.IsStr {
+		return fmt.Sprintf("%q", v.Str)
+	}
+	return fmt.Sprintf("%g", v.Num)
+}
+
+// Env supplies the server-side parameter bindings for one candidate
+// server: the 22 numeric variables extracted from its status report
+// plus the network and security parameters merged in by the wizard.
+// StrParams carries the Chapter 6 string-attribute extension
+// (machine_type and friends).
+type Env struct {
+	Params    map[string]float64
+	StrParams map[string]string
+}
+
+// EvalError is a runtime evaluation failure (division by zero, type
+// misuse, unknown function).
+type EvalError struct {
+	Line int
+	Stmt string
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("reqlang: line %d (%s): %s", e.Line, e.Stmt, e.Msg)
+}
+
+// undefinedError marks use of a variable no one defined. It is split
+// from EvalError because the thesis gives it special semantics: an
+// undefined variable inside a *logical* statement makes that
+// statement false rather than aborting the evaluation.
+type undefinedError struct {
+	name string
+}
+
+func (e *undefinedError) Error() string {
+	return fmt.Sprintf("undefined variable %q", e.name)
+}
+
+// Result is the outcome of evaluating a Program against one server.
+type Result struct {
+	// Qualified is true when every logical statement evaluated true.
+	Qualified bool
+	// Denied and Preferred collect the user-side host parameters
+	// (user_denied_hostN / user_preferred_hostN assignments).
+	Denied    []string
+	Preferred []string
+	// Score is the value of the last non-logical, non-assignment
+	// statement, used by the rank-by-expression option.
+	Score    float64
+	HasScore bool
+	// FailedLine is the first logical statement that evaluated false
+	// (0 when none did); useful for explaining rejections.
+	FailedLine int
+	// Err is the first hard evaluation error, if any. A hard error
+	// disqualifies the server.
+	Err error
+}
+
+const (
+	deniedPrefix    = "user_denied_host"
+	preferredPrefix = "user_preferred_host"
+)
+
+// IsUserParam reports whether name is one of the user-side variables
+// (Appendix B.2): the denied/preferred host slots.
+func IsUserParam(name string) bool {
+	return strings.HasPrefix(name, deniedPrefix) || strings.HasPrefix(name, preferredPrefix)
+}
+
+// evalState carries per-evaluation mutable bindings.
+type evalState struct {
+	env     *Env
+	temps   map[string]Value
+	uparams map[string]Value
+}
+
+// Eval runs the program against one server's environment, following
+// the Fig 4.2 semantics: statements run top to bottom; each logical
+// statement must be true for the server to qualify; assignments to
+// user-side parameters record denied/preferred hosts; temporary
+// variables persist across lines within one evaluation.
+func (p *Program) Eval(env *Env) Result {
+	st := &evalState{
+		env:     env,
+		temps:   make(map[string]Value),
+		uparams: make(map[string]Value),
+	}
+	res := Result{Qualified: true}
+	for i := range p.Stmts {
+		stmt := &p.Stmts[i]
+		v, err := st.eval(stmt.Expr)
+		if err != nil {
+			if _, undef := err.(*undefinedError); undef && stmt.Logical {
+				// Thesis rule: an uninitialized variable inside a
+				// logical statement makes the statement false.
+				res.Qualified = false
+				if res.FailedLine == 0 {
+					res.FailedLine = stmt.Line
+				}
+				continue
+			}
+			res.Qualified = false
+			res.Err = &EvalError{Line: stmt.Line, Stmt: stmt.Src, Msg: err.Error()}
+			break
+		}
+		if stmt.Logical {
+			if !v.Truthy() && res.Qualified {
+				res.Qualified = false
+				res.FailedLine = stmt.Line
+			}
+			continue
+		}
+		expr := stmt.Expr
+		for {
+			p, ok := expr.(*parenNode)
+			if !ok {
+				break
+			}
+			expr = p.x
+		}
+		if _, isAssign := expr.(*assignNode); !isAssign && !v.IsStr {
+			res.Score = v.Num
+			res.HasScore = true
+		}
+	}
+	// Collect user parameters in slot order (user_preferred_host1
+	// before host2, …): the preference ranking the wizard applies
+	// follows the order the user numbered the slots.
+	names := make([]string, 0, len(st.uparams))
+	for name := range st.uparams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := st.uparams[name]
+		if !v.IsStr || v.Str == "" {
+			continue
+		}
+		if strings.HasPrefix(name, deniedPrefix) {
+			res.Denied = append(res.Denied, v.Str)
+		} else {
+			res.Preferred = append(res.Preferred, v.Str)
+		}
+	}
+	return res
+}
+
+func (st *evalState) eval(n node) (Value, error) {
+	switch v := n.(type) {
+	case *numNode:
+		return NumValue(v.val), nil
+	case *strNode:
+		return StrValue(v.val), nil
+	case *parenNode:
+		return st.eval(v.x)
+	case *varNode:
+		return st.lookup(v.name)
+	case *unaryNode:
+		x, err := st.eval(v.x)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.IsStr {
+			return Value{}, fmt.Errorf("cannot negate string %s", x)
+		}
+		return NumValue(-x.Num), nil
+	case *assignNode:
+		return st.assign(v)
+	case *callNode:
+		return st.call(v)
+	case *binNode:
+		return st.binary(v)
+	}
+	return Value{}, fmt.Errorf("internal: unknown node %T", n)
+}
+
+func (st *evalState) lookup(name string) (Value, error) {
+	if IsUserParam(name) {
+		if v, ok := st.uparams[name]; ok {
+			return v, nil
+		}
+		return StrValue(""), nil // unset user param reads as empty
+	}
+	if st.env != nil {
+		if v, ok := st.env.Params[name]; ok {
+			return NumValue(v), nil
+		}
+		if s, ok := st.env.StrParams[name]; ok {
+			return StrValue(s), nil
+		}
+	}
+	if c, ok := constants[name]; ok {
+		return NumValue(c), nil
+	}
+	if v, ok := st.temps[name]; ok {
+		return v, nil
+	}
+	return Value{}, &undefinedError{name: name}
+}
+
+func (st *evalState) assign(a *assignNode) (Value, error) {
+	if st.env != nil {
+		if _, isParam := st.env.Params[a.name]; isParam {
+			return Value{}, fmt.Errorf("cannot assign to server-side parameter %q", a.name)
+		}
+	}
+	if _, isConst := constants[a.name]; isConst {
+		return Value{}, fmt.Errorf("cannot assign to constant %q", a.name)
+	}
+	v, err := st.eval(a.rhs)
+	if err != nil {
+		// Thesis convenience: "user_denied_host1 = telesto" names a
+		// host with a bare word. An undefined variable on the RHS of
+		// a user-parameter assignment is taken as a host string.
+		if undef, ok := err.(*undefinedError); ok && IsUserParam(a.name) {
+			v = StrValue(undef.name)
+		} else {
+			return Value{}, err
+		}
+	}
+	if IsUserParam(a.name) {
+		if !v.IsStr {
+			return Value{}, fmt.Errorf("user parameter %q needs a host name or address, got %s", a.name, v)
+		}
+		st.uparams[a.name] = v
+		return v, nil
+	}
+	st.temps[a.name] = v
+	return v, nil
+}
+
+func (st *evalState) binary(b *binNode) (Value, error) {
+	l, err := st.eval(b.l)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := st.eval(b.r)
+	if err != nil {
+		return Value{}, err
+	}
+	boolVal := func(ok bool) Value {
+		if ok {
+			return NumValue(1)
+		}
+		return NumValue(0)
+	}
+	switch b.op {
+	case tokAnd:
+		return boolVal(l.Truthy() && r.Truthy()), nil
+	case tokOr:
+		return boolVal(l.Truthy() || r.Truthy()), nil
+	case tokEQ:
+		return boolVal(valueEqual(l, r)), nil
+	case tokNE:
+		return boolVal(!valueEqual(l, r)), nil
+	}
+	// Remaining operators are numeric-only.
+	if l.IsStr || r.IsStr {
+		return Value{}, fmt.Errorf("operator %v needs numbers, got %s and %s", b.op, l, r)
+	}
+	switch b.op {
+	case tokLT:
+		return boolVal(l.Num < r.Num), nil
+	case tokLE:
+		return boolVal(l.Num <= r.Num), nil
+	case tokGT:
+		return boolVal(l.Num > r.Num), nil
+	case tokGE:
+		return boolVal(l.Num >= r.Num), nil
+	case tokPlus:
+		return NumValue(l.Num + r.Num), nil
+	case tokMinus:
+		return NumValue(l.Num - r.Num), nil
+	case tokStar:
+		return NumValue(l.Num * r.Num), nil
+	case tokSlash:
+		if r.Num == 0 {
+			return Value{}, fmt.Errorf("division by 0")
+		}
+		return NumValue(l.Num / r.Num), nil
+	case tokCaret:
+		return NumValue(math.Pow(l.Num, r.Num)), nil
+	}
+	return Value{}, fmt.Errorf("internal: unknown binary operator %v", b.op)
+}
+
+// valueEqual implements ==: numbers compare numerically, strings
+// case-insensitively (host names), and mixed types are never equal.
+func valueEqual(l, r Value) bool {
+	if l.IsStr != r.IsStr {
+		return false
+	}
+	if l.IsStr {
+		return strings.EqualFold(l.Str, r.Str)
+	}
+	return l.Num == r.Num
+}
+
+// constants are the predefined constants of Appendix B.3.
+var constants = map[string]float64{
+	"pi":    math.Pi,
+	"e":     math.E,
+	"true":  1,
+	"false": 0,
+}
+
+// builtin is a predefined math function (Appendix B.4).
+type builtin struct {
+	arity int
+	fn    func(args []float64) (float64, error)
+}
+
+func unary(f func(float64) float64) builtin {
+	return builtin{arity: 1, fn: func(a []float64) (float64, error) { return f(a[0]), nil }}
+}
+
+var builtins = map[string]builtin{
+	"sin":  unary(math.Sin),
+	"cos":  unary(math.Cos),
+	"tan":  unary(math.Tan),
+	"atan": unary(math.Atan),
+	"exp":  unary(math.Exp),
+	"sqrt": {arity: 1, fn: func(a []float64) (float64, error) {
+		if a[0] < 0 {
+			return 0, fmt.Errorf("sqrt of negative number %g", a[0])
+		}
+		return math.Sqrt(a[0]), nil
+	}},
+	"abs":   unary(math.Abs),
+	"floor": unary(math.Floor),
+	"ceil":  unary(math.Ceil),
+	"int":   unary(math.Trunc),
+	"log": {arity: 1, fn: func(a []float64) (float64, error) {
+		if a[0] <= 0 {
+			return 0, fmt.Errorf("log of non-positive number %g", a[0])
+		}
+		return math.Log(a[0]), nil
+	}},
+	"log10": {arity: 1, fn: func(a []float64) (float64, error) {
+		if a[0] <= 0 {
+			return 0, fmt.Errorf("log10 of non-positive number %g", a[0])
+		}
+		return math.Log10(a[0]), nil
+	}},
+	"pow": {arity: 2, fn: func(a []float64) (float64, error) { return math.Pow(a[0], a[1]), nil }},
+	"min": {arity: 2, fn: func(a []float64) (float64, error) { return math.Min(a[0], a[1]), nil }},
+	"max": {arity: 2, fn: func(a []float64) (float64, error) { return math.Max(a[0], a[1]), nil }},
+}
+
+// Builtins lists the available function names, for documentation and
+// error messages.
+func Builtins() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (st *evalState) call(c *callNode) (Value, error) {
+	b, ok := builtins[c.fn]
+	if !ok {
+		return Value{}, fmt.Errorf("unknown function %q", c.fn)
+	}
+	if len(c.args) != b.arity {
+		return Value{}, fmt.Errorf("%s takes %d argument(s), got %d", c.fn, b.arity, len(c.args))
+	}
+	args := make([]float64, len(c.args))
+	for i, a := range c.args {
+		v, err := st.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsStr {
+			return Value{}, fmt.Errorf("%s needs numeric arguments, got %s", c.fn, v)
+		}
+		args[i] = v.Num
+	}
+	out, err := b.fn(args)
+	if err != nil {
+		return Value{}, err
+	}
+	return NumValue(out), nil
+}

@@ -1,0 +1,201 @@
+package reqlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical meta-language
+// text: one statement per line, single-spaced operators, minimal
+// parentheses (re-inserted only where precedence demands them).
+// Formatting is stable — Parse(Format(p)) yields a structurally
+// identical program — so wizards can log normalised requirements and
+// tools can lint user files.
+func (p *Program) Format() string {
+	var b strings.Builder
+	for _, stmt := range p.Stmts {
+		b.WriteString(formatNode(stmt.Expr, 0))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// precedence of a node's top operator, for parenthesis insertion.
+// Mirrors binPrec plus levels for unary minus and primaries.
+func nodePrec(n node) int {
+	switch v := n.(type) {
+	case *binNode:
+		return binPrec[v.op]
+	case *unaryNode:
+		return 7
+	case *assignNode:
+		return 0
+	default:
+		return 8 // primary
+	}
+}
+
+func opText(k tokenKind) string {
+	switch k {
+	case tokAnd:
+		return "&&"
+	case tokOr:
+		return "||"
+	case tokEQ:
+		return "=="
+	case tokNE:
+		return "!="
+	case tokLT:
+		return "<"
+	case tokLE:
+		return "<="
+	case tokGT:
+		return ">"
+	case tokGE:
+		return ">="
+	case tokPlus:
+		return "+"
+	case tokMinus:
+		return "-"
+	case tokStar:
+		return "*"
+	case tokSlash:
+		return "/"
+	case tokCaret:
+		return "^"
+	}
+	return "?"
+}
+
+// formatNode renders a node, parenthesising when its precedence is
+// below the context's minimum.
+func formatNode(n node, minPrec int) string {
+	switch v := n.(type) {
+	case *numNode:
+		return strconv.FormatFloat(v.val, 'g', -1, 64)
+	case *strNode:
+		if v.isAddr {
+			return v.val
+		}
+		return `"` + v.val + `"`
+	case *varNode:
+		return v.name
+	case *parenNode:
+		// Redundant source parentheses collapse; needed ones come back
+		// from precedence below.
+		return formatNode(v.x, minPrec)
+	case *unaryNode:
+		s := "-" + formatNode(v.x, 8)
+		if nodePrec(v) < minPrec {
+			return "(" + s + ")"
+		}
+		return s
+	case *callNode:
+		args := make([]string, len(v.args))
+		for i, a := range v.args {
+			args[i] = formatNode(a, 0)
+		}
+		return v.fn + "(" + strings.Join(args, ", ") + ")"
+	case *assignNode:
+		s := v.name + " = " + formatNode(v.rhs, 0)
+		if minPrec > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *binNode:
+		prec := binPrec[v.op]
+		// Left child needs at least this precedence; right child one
+		// more for left-associative operators, the same for the
+		// right-associative '^'.
+		rightMin := prec + 1
+		if v.op == tokCaret {
+			rightMin = prec
+		}
+		// For '^' the *left* side needs prec+1 instead (right-assoc).
+		leftMin := prec
+		if v.op == tokCaret {
+			leftMin = prec + 1
+		}
+		s := fmt.Sprintf("%s %s %s",
+			formatNode(v.l, leftMin), opText(v.op), formatNode(v.r, rightMin))
+		if prec < minPrec {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return "?"
+}
+
+// equalAST reports structural equality of two nodes, ignoring source
+// positions and redundant parentheses — the property Format must
+// preserve.
+func equalAST(a, b node) bool {
+	for {
+		if p, ok := a.(*parenNode); ok {
+			a = p.x
+			continue
+		}
+		break
+	}
+	for {
+		if p, ok := b.(*parenNode); ok {
+			b = p.x
+			continue
+		}
+		break
+	}
+	switch x := a.(type) {
+	case *numNode:
+		y, ok := b.(*numNode)
+		return ok && x.val == y.val
+	case *strNode:
+		y, ok := b.(*strNode)
+		return ok && x.val == y.val
+	case *varNode:
+		y, ok := b.(*varNode)
+		return ok && x.name == y.name
+	case *unaryNode:
+		if y, ok := b.(*unaryNode); ok {
+			return equalAST(x.x, y.x)
+		}
+	case *assignNode:
+		if y, ok := b.(*assignNode); ok {
+			return x.name == y.name && equalAST(x.rhs, y.rhs)
+		}
+	case *callNode:
+		if y, ok := b.(*callNode); ok {
+			if x.fn != y.fn || len(x.args) != len(y.args) {
+				return false
+			}
+			for i := range x.args {
+				if !equalAST(x.args[i], y.args[i]) {
+					return false
+				}
+			}
+			return true
+		}
+	case *binNode:
+		if y, ok := b.(*binNode); ok {
+			return x.op == y.op && equalAST(x.l, y.l) && equalAST(x.r, y.r)
+		}
+	}
+	return false
+}
+
+// EqualPrograms reports whether two programs are structurally
+// identical statement for statement.
+func EqualPrograms(a, b *Program) bool {
+	if len(a.Stmts) != len(b.Stmts) {
+		return false
+	}
+	for i := range a.Stmts {
+		if a.Stmts[i].Logical != b.Stmts[i].Logical {
+			return false
+		}
+		if !equalAST(a.Stmts[i].Expr, b.Stmts[i].Expr) {
+			return false
+		}
+	}
+	return true
+}

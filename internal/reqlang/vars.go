@@ -1,0 +1,59 @@
+package reqlang
+
+import "sort"
+
+// FreeVariables lists the variables a program reads without first
+// assigning them — the server-side parameters (plus any typos) its
+// qualification depends on. The wizard uses this to learn which
+// parameter groups applications actually ask about, so probes can be
+// told to measure and ship only those (the Chapter 6
+// selected-parameters extension).
+//
+// User-side parameters (user_denied_host*/user_preferred_host*) and
+// the built-in constants are not reported: they never come from
+// status reports.
+func (p *Program) FreeVariables() []string {
+	assigned := map[string]bool{}
+	free := map[string]bool{}
+	for _, stmt := range p.Stmts {
+		collectFree(stmt.Expr, assigned, free)
+	}
+	out := make([]string, 0, len(free))
+	for name := range free {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(n node, assigned, free map[string]bool) {
+	switch v := n.(type) {
+	case *varNode:
+		if !assigned[v.name] && !IsUserParam(v.name) {
+			if _, isConst := constants[v.name]; !isConst {
+				free[v.name] = true
+			}
+		}
+	case *assignNode:
+		// A bare word on the RHS of a user-parameter assignment is a
+		// host name (the Table 5.5 convenience), not a variable read.
+		if _, bare := v.rhs.(*varNode); bare && IsUserParam(v.name) {
+			assigned[v.name] = true
+			return
+		}
+		// RHS evaluates before the assignment takes effect.
+		collectFree(v.rhs, assigned, free)
+		assigned[v.name] = true
+	case *unaryNode:
+		collectFree(v.x, assigned, free)
+	case *parenNode:
+		collectFree(v.x, assigned, free)
+	case *binNode:
+		collectFree(v.l, assigned, free)
+		collectFree(v.r, assigned, free)
+	case *callNode:
+		for _, a := range v.args {
+			collectFree(a, assigned, free)
+		}
+	}
+}

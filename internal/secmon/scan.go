@@ -1,0 +1,188 @@
+package secmon
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smartsock/internal/status"
+)
+
+// ScanAgent is an nmap-style network scanning agent (§3.4.2): it
+// probes each host's service ports with TCP connect scans and derives
+// a clearance level from what it finds, the way the thesis's
+// fingerprint databases map observed services to risk. Unlike the
+// real nmap's half-open SYN probes it uses full connects, which need
+// no raw sockets and are observable by the target — acceptable for a
+// cooperative computing pool.
+//
+// The derived level starts at BaseLevel and drops by the penalty of
+// every open port found in RiskyPorts; hosts exposing nothing risky
+// keep their base clearance. Hosts where no probed port answers at
+// all report DownLevel, so requirements like
+// "host_security_level >= 3" screen them out.
+type ScanAgent struct {
+	// Targets are the hosts to scan. An entry may carry an explicit
+	// port list after '/': "fileserver/22,80". Entries without one
+	// use Ports.
+	Targets []string
+	// Ports probed on targets without their own list. Defaults to a
+	// classic short list (ftp, ssh, telnet, finger, http, portmap,
+	// the r-services).
+	Ports []int
+	// RiskyPorts maps an open port to its clearance penalty.
+	// Defaults to penalising legacy cleartext services.
+	RiskyPorts map[int]int
+	// BaseLevel is a clean, reachable host's clearance. Defaults to 5.
+	BaseLevel int
+	// DownLevel is reported for unreachable hosts. Defaults to 0.
+	DownLevel int
+	// DialTimeout per port probe. Defaults to 300 ms.
+	DialTimeout time.Duration
+	// Parallel bounds concurrent port probes. Defaults to 8.
+	Parallel int
+}
+
+// defaultRiskyPorts penalises the classic cleartext and legacy
+// services a 2004-era scanner would flag.
+func defaultRiskyPorts() map[int]int {
+	return map[int]int{
+		23:  3, // telnet
+		512: 2, // rexec
+		513: 2, // rlogin
+		514: 2, // rsh
+		21:  1, // ftp
+		79:  1, // finger
+		111: 1, // portmap
+	}
+}
+
+var defaultScanPorts = []int{21, 22, 23, 79, 80, 111, 512, 513, 514}
+
+// target is one parsed Targets entry.
+type target struct {
+	host  string
+	ports []int
+}
+
+func (a *ScanAgent) parseTargets() ([]target, error) {
+	base := a.Ports
+	if len(base) == 0 {
+		base = defaultScanPorts
+	}
+	out := make([]target, 0, len(a.Targets))
+	for _, raw := range a.Targets {
+		host, portSpec, hasSpec := strings.Cut(raw, "/")
+		if host == "" {
+			return nil, fmt.Errorf("secmon: empty scan target %q", raw)
+		}
+		t := target{host: host, ports: base}
+		if hasSpec {
+			var ports []int
+			for _, p := range strings.Split(portSpec, ",") {
+				var v int
+				if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil || v <= 0 || v > 65535 {
+					return nil, fmt.Errorf("secmon: bad port %q in target %q", p, raw)
+				}
+				ports = append(ports, v)
+			}
+			t.ports = ports
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ScanResult is one host's detailed scan outcome, for operators who
+// want more than the level.
+type ScanResult struct {
+	Host      string
+	OpenPorts []int
+	Level     int
+	Reachable bool
+}
+
+// ScanDetailed probes every target and returns full results.
+func (a ScanAgent) ScanDetailed() ([]ScanResult, error) {
+	targets, err := a.parseTargets()
+	if err != nil {
+		return nil, err
+	}
+	base := a.BaseLevel
+	if base == 0 {
+		base = 5
+	}
+	risky := a.RiskyPorts
+	if risky == nil {
+		risky = defaultRiskyPorts()
+	}
+	timeout := a.DialTimeout
+	if timeout <= 0 {
+		timeout = 300 * time.Millisecond
+	}
+	parallel := a.Parallel
+	if parallel <= 0 {
+		parallel = 8
+	}
+
+	results := make([]ScanResult, len(targets))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t target) {
+			defer wg.Done()
+			res := ScanResult{Host: t.host}
+			for _, port := range t.ports {
+				sem <- struct{}{}
+				conn, err := net.DialTimeout("tcp", net.JoinHostPort(hostOnly(t.host), fmt.Sprint(port)), timeout)
+				<-sem
+				if err != nil {
+					continue
+				}
+				conn.Close()
+				res.OpenPorts = append(res.OpenPorts, port)
+			}
+			sort.Ints(res.OpenPorts)
+			res.Reachable = len(res.OpenPorts) > 0
+			if !res.Reachable {
+				res.Level = a.DownLevel
+			} else {
+				level := base
+				for _, p := range res.OpenPorts {
+					level -= risky[p]
+				}
+				res.Level = level
+			}
+			results[i] = res
+		}(i, t)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// Scan implements Agent: levels only, for the security monitor.
+func (a ScanAgent) Scan() ([]status.SecLevel, error) {
+	detailed, err := a.ScanDetailed()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]status.SecLevel, len(detailed))
+	for i, r := range detailed {
+		out[i] = status.SecLevel{Host: r.Host, Level: r.Level}
+	}
+	return out, nil
+}
+
+// hostOnly strips a :port suffix if the target name itself is a
+// service address.
+func hostOnly(s string) string {
+	host, _, err := net.SplitHostPort(s)
+	if err != nil {
+		return s
+	}
+	return host
+}

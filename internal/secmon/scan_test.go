@@ -1,0 +1,136 @@
+package secmon
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+// listenOn opens a real TCP listener on an ephemeral loopback port
+// and returns the port.
+func listenOn(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+func TestScanAgentCleanHostKeepsBaseLevel(t *testing.T) {
+	port := listenOn(t) // a benign service (e.g. our own worker port)
+	agent := ScanAgent{
+		Targets:   []string{fmt.Sprintf("127.0.0.1/%d", port)},
+		BaseLevel: 5,
+	}
+	levels, err := agent.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 1 || levels[0].Level != 5 {
+		t.Errorf("levels = %+v, want base 5", levels)
+	}
+}
+
+func TestScanAgentPenalisesRiskyPorts(t *testing.T) {
+	risky := listenOn(t)
+	benign := listenOn(t)
+	agent := ScanAgent{
+		Targets:    []string{fmt.Sprintf("127.0.0.1/%d,%d", risky, benign)},
+		BaseLevel:  5,
+		RiskyPorts: map[int]int{risky: 3},
+	}
+	res, err := agent.ScanDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %+v", res)
+	}
+	if !res[0].Reachable || res[0].Level != 2 {
+		t.Errorf("result = %+v, want reachable level 2 (5−3)", res[0])
+	}
+	if len(res[0].OpenPorts) != 2 {
+		t.Errorf("OpenPorts = %v, want both", res[0].OpenPorts)
+	}
+}
+
+func TestScanAgentDownHost(t *testing.T) {
+	agent := ScanAgent{
+		Targets:   []string{"127.0.0.1/1"}, // reserved port, nothing listens
+		BaseLevel: 5,
+		DownLevel: -1,
+	}
+	res, err := agent.ScanDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Reachable || res[0].Level != -1 {
+		t.Errorf("down host result = %+v", res[0])
+	}
+}
+
+func TestScanAgentMultipleTargets(t *testing.T) {
+	p1 := listenOn(t)
+	p2 := listenOn(t)
+	agent := ScanAgent{
+		Targets: []string{
+			fmt.Sprintf("127.0.0.1/%d", p1),
+			fmt.Sprintf("127.0.0.1/%d", p2),
+			"127.0.0.1/1",
+		},
+	}
+	levels, err := agent.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("got %d levels, want 3", len(levels))
+	}
+	if levels[0].Level != 5 || levels[1].Level != 5 || levels[2].Level != 0 {
+		t.Errorf("levels = %+v", levels)
+	}
+}
+
+func TestScanAgentBadTargets(t *testing.T) {
+	for _, target := range []string{"", "/22", "host/notaport", "host/0", "host/99999"} {
+		agent := ScanAgent{Targets: []string{target}}
+		if _, err := agent.Scan(); err == nil {
+			t.Errorf("target %q accepted", target)
+		}
+	}
+}
+
+func TestScanAgentHostWithPortSuffix(t *testing.T) {
+	// Targets named as service addresses keep their full name in the
+	// record but scan the host part.
+	port := listenOn(t)
+	name := fmt.Sprintf("127.0.0.1:9999/%d", port)
+	agent := ScanAgent{Targets: []string{name}}
+	levels, err := agent.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0].Host != "127.0.0.1:9999" {
+		t.Errorf("record host = %q", levels[0].Host)
+	}
+	if levels[0].Level != 5 {
+		t.Errorf("level = %d", levels[0].Level)
+	}
+}
+
+func TestScanAgentPlugsIntoMonitor(t *testing.T) {
+	// The §3.4.1 open framework: a scanning agent drops in wherever
+	// the log agent does.
+	var _ Agent = ScanAgent{}
+}

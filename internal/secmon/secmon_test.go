@@ -1,0 +1,131 @@
+package secmon
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+)
+
+func writeLog(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "security.log")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLogAgentParsesThesisFormat(t *testing.T) {
+	// §3.4.1: "The log file contains the server names and the
+	// correspondingly security levels."
+	path := writeLog(t, `# security clearance levels
+sagit 5
+dalmatian 4   # monitor machine
+hacker.some.net -1
+
+`)
+	levels, err := LogAgent{Path: path}.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"sagit": 5, "dalmatian": 4, "hacker.some.net": -1}
+	if len(levels) != len(want) {
+		t.Fatalf("got %d levels, want %d", len(levels), len(want))
+	}
+	for _, l := range levels {
+		if want[l.Host] != l.Level {
+			t.Errorf("%s = %d, want %d", l.Host, l.Level, want[l.Host])
+		}
+	}
+}
+
+func TestLogAgentErrors(t *testing.T) {
+	if _, err := (LogAgent{Path: "/nonexistent/sec.log"}).Scan(); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := (LogAgent{Path: writeLog(t, "host-without-level\n")}).Scan(); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := (LogAgent{Path: writeLog(t, "host notanumber\n")}).Scan(); err == nil {
+		t.Error("non-numeric level accepted")
+	}
+}
+
+func TestLogAgentRereadsOnEachScan(t *testing.T) {
+	path := writeLog(t, "a 1\n")
+	agent := LogAgent{Path: path}
+	if levels, _ := agent.Scan(); len(levels) != 1 || levels[0].Level != 1 {
+		t.Fatal("first scan wrong")
+	}
+	os.WriteFile(path, []byte("a 9\nb 2\n"), 0o644)
+	levels, err := agent.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 || levels[0].Level != 9 {
+		t.Errorf("live edit not picked up: %+v", levels)
+	}
+}
+
+func TestMonitorScanOnce(t *testing.T) {
+	db := store.New()
+	m, err := New(Config{
+		Agent: StaticAgent{{Host: "h1", Level: 3}, {Host: "h2", Level: 1}},
+		DB:    db,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ScanOnce(); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := db.GetSec("h1")
+	if !ok || r.Level.Level != 3 {
+		t.Errorf("GetSec(h1) = %+v (%v)", r, ok)
+	}
+}
+
+func TestMonitorRun(t *testing.T) {
+	db := store.New()
+	m, err := New(Config{
+		Agent:    StaticAgent{{Host: "h", Level: 2}},
+		DB:       db,
+		Interval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	m.Run(ctx)
+	if _, ok := db.GetSec("h"); !ok {
+		t.Error("Run never scanned")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{DB: store.New()}); err == nil {
+		t.Error("accepted nil agent")
+	}
+	if _, err := New(Config{Agent: StaticAgent{}}); err == nil {
+		t.Error("accepted nil db")
+	}
+}
+
+func TestStaticAgentCopies(t *testing.T) {
+	a := StaticAgent{{Host: "x", Level: 1}}
+	got, _ := a.Scan()
+	got[0].Level = 99
+	again, _ := a.Scan()
+	if again[0].Level != 1 {
+		t.Error("Scan aliases the agent's backing slice")
+	}
+	var _ Agent = a
+	var _ Agent = LogAgent{}
+	var _ = []status.SecLevel(a)
+}

@@ -1,0 +1,447 @@
+// Package simnet models multi-hop network paths analytically, using
+// the delay decomposition the thesis itself derives (§3.3.2):
+//
+//	d_delay = d_proc + d_trans + d_prop + d_queue          (Eq. 3.3)
+//
+// extended with the first-frame initialization term discovered in the
+// thesis's RTT measurements:
+//
+//	T = S/B + min(S, MTU)/Speed_init + Overhead_sys + Overhead_net   (Eq. 3.6)
+//
+// The paper measured these curves on a physical testbed (Figs
+// 3.3–3.6); that hardware is unavailable, so this package implements
+// the same model as a simulator: each Path is a chain of hops with
+// capacity, utilization by cross traffic, propagation and processing
+// delay, an MTU and a Speed_init on the first interface, and seeded
+// random queueing jitter. Probing a Path reproduces — by construction
+// plus noise — the phenomena the estimator code must cope with: the
+// slope break at the MTU, under-estimation for sub-MTU probes
+// (Eq. 3.7), fragment-count sensitivity, and thresholds shadowed by
+// large WAN RTTs.
+//
+// The package exposes the three probing primitives the bandwidth
+// estimators of package bwest consume: single-packet RTT (one-way UDP
+// + ICMP port-unreachable echo), back-to-back packet pairs
+// (pipechar's method) and one-way packet streams (pathload's SLoPS).
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header sizes in bytes, the constants the fragment model uses.
+const (
+	ipHeader    = 20
+	udpHeader   = 8
+	frameHeader = 18 // Ethernet header + FCS
+	icmpEcho    = 56 // ICMP port-unreachable reply size
+)
+
+// Hop is one store-and-forward element (router or end-host NIC) on a
+// path.
+type Hop struct {
+	// Capacity is the link's raw rate in bits per second.
+	Capacity float64
+	// Utilization is the fraction of capacity consumed by cross
+	// traffic (0..1); the bandwidth available to new flows is
+	// Capacity×(1−Utilization).
+	Utilization float64
+	// PropDelay is the signal propagation time across the link.
+	PropDelay time.Duration
+	// ProcDelay is the per-packet forwarding decision time.
+	ProcDelay time.Duration
+}
+
+// Available returns the hop's available bandwidth in bits per second.
+func (h Hop) Available() float64 {
+	u := h.Utilization
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = 0.999
+	}
+	return h.Capacity * (1 - u)
+}
+
+// Config describes a path between two hosts.
+type Config struct {
+	Name string
+	// MTU of the sender's physical interface in bytes. 0 means no
+	// fragmentation or init effect (a loopback or virtual interface —
+	// the thesis's observation 1).
+	MTU int
+	// SpeedInit is the kernel→NIC initialization speed in bits per
+	// second for the first frame of a datagram (the thesis estimates
+	// ≈25 Mbps on its testbed). 0 disables the effect.
+	SpeedInit float64
+	// SysOverhead is the constant sender-side cost per probe
+	// (Overhead_sys in Eq. 3.4).
+	SysOverhead time.Duration
+	// Jitter is the relative standard deviation of random queueing
+	// noise (e.g. 0.02 for a quiet LAN, 0.3 for a loaded WAN).
+	Jitter float64
+	// Hops from sender to receiver, in order.
+	Hops []Hop
+	// Seed makes the path's noise reproducible.
+	Seed int64
+}
+
+// Path is a probe-able simulated network path.
+type Path struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// shared, when attached, makes this path contend with others: the
+	// interference behind §3.3.3's strictly-sequential probing rule.
+	shared *Segment
+}
+
+// Segment is a network segment several paths traverse (the links near
+// the probing monitor). Probes on any attached path contend for it:
+// each additional concurrent probe inflates measured delays, the
+// interference §3.3.3 warns about ("Multiple probes should not run
+// simultaneously").
+type Segment struct {
+	inflight atomic.Int32
+}
+
+// NewSegment creates a shared segment.
+func NewSegment() *Segment { return &Segment{} }
+
+// AttachSegment makes this path contend with every other path on the
+// segment. Nil detaches.
+func (p *Path) AttachSegment(s *Segment) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shared = s
+}
+
+// enter registers an in-flight probe and returns the interference
+// factor to apply: 1 + 0.7 per concurrent rival on the shared
+// segment (an aggressive but simple contention model).
+func (p *Path) enter() (leave func(), factor float64) {
+	p.mu.Lock()
+	seg := p.shared
+	p.mu.Unlock()
+	if seg == nil {
+		return func() {}, 1
+	}
+	rivals := seg.inflight.Add(1) - 1
+	return func() { seg.inflight.Add(-1) }, 1 + 0.7*float64(rivals)
+}
+
+// New validates the config and builds a path.
+func New(cfg Config) (*Path, error) {
+	if len(cfg.Hops) == 0 {
+		return nil, fmt.Errorf("simnet: path %q has no hops", cfg.Name)
+	}
+	for i, h := range cfg.Hops {
+		if h.Capacity <= 0 {
+			return nil, fmt.Errorf("simnet: path %q hop %d has capacity %v", cfg.Name, i, h.Capacity)
+		}
+		if h.Utilization < 0 || h.Utilization >= 1 {
+			return nil, fmt.Errorf("simnet: path %q hop %d has utilization %v", cfg.Name, i, h.Utilization)
+		}
+	}
+	if cfg.MTU < 0 || (cfg.MTU > 0 && cfg.MTU <= ipHeader+udpHeader) {
+		return nil, fmt.Errorf("simnet: path %q has unusable MTU %d", cfg.Name, cfg.MTU)
+	}
+	return &Path{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Name returns the path's label.
+func (p *Path) Name() string { return p.cfg.Name }
+
+// MTU returns the sender interface MTU (0 for virtual interfaces).
+func (p *Path) MTU() int { return p.cfg.MTU }
+
+// hops copies the hop list under the lock so probes and concurrent
+// SetUtilization calls never race.
+func (p *Path) hops() []Hop {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Hop, len(p.cfg.Hops))
+	copy(out, p.cfg.Hops)
+	return out
+}
+
+// AvailableBandwidth is the ground-truth available bandwidth in bits
+// per second: the minimum over hops of Capacity×(1−Utilization). The
+// experiments compare estimator output against this.
+func (p *Path) AvailableBandwidth() float64 {
+	min := math.Inf(1)
+	for _, h := range p.hops() {
+		if a := h.Available(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// EffectiveBandwidth is the bandwidth a slope-based estimator can see:
+// the harmonic composition of per-hop available bandwidths, since a
+// packet pays S/avail_i serialisation at every store-and-forward hop.
+func (p *Path) EffectiveBandwidth() float64 {
+	inv := 0.0
+	for _, h := range p.hops() {
+		inv += 1 / h.Available()
+	}
+	return 1 / inv
+}
+
+// BaseRTT is the fixed two-way delay excluding size-dependent terms:
+// propagation, processing, and the echo's return trip. It is what
+// ping with tiny packets would report.
+func (p *Path) BaseRTT() time.Duration {
+	hops := p.hops()
+	fixed := p.cfg.SysOverhead
+	for _, h := range hops {
+		fixed += h.PropDelay + h.ProcDelay
+	}
+	// Return path: the ICMP reply is small; charge serialisation for
+	// icmpEcho bytes plus prop/proc again.
+	ret := time.Duration(0)
+	for _, h := range hops {
+		ret += h.PropDelay + h.ProcDelay +
+			time.Duration(float64(icmpEcho+ipHeader+frameHeader)*8/h.Available()*float64(time.Second))
+	}
+	return fixed + ret
+}
+
+// fragments returns the number of IP fragments a UDP payload of size
+// s needs on this path's first interface, and the total wire bytes
+// including per-fragment headers.
+func (p *Path) fragments(payload int) (nFrag int, wireBytes int) {
+	datagram := payload + udpHeader
+	if p.cfg.MTU == 0 {
+		return 1, datagram + ipHeader + frameHeader
+	}
+	perFrag := p.cfg.MTU - ipHeader
+	nFrag = (datagram + perFrag - 1) / perFrag
+	if nFrag < 1 {
+		nFrag = 1
+	}
+	wireBytes = datagram + nFrag*(ipHeader+frameHeader)
+	return nFrag, wireBytes
+}
+
+// initDelay is the Eq. 3.6 first-frame initialization term.
+func (p *Path) initDelay(payload int) time.Duration {
+	if p.cfg.SpeedInit <= 0 || p.cfg.MTU == 0 {
+		return 0
+	}
+	first := payload + udpHeader + ipHeader
+	if first > p.cfg.MTU {
+		first = p.cfg.MTU
+	}
+	return time.Duration(float64(first*8) / p.cfg.SpeedInit * float64(time.Second))
+}
+
+// onewayDelay computes the forward one-way delay for a UDP payload of
+// the given size, without noise. Exported pieces of the model are
+// deterministic so tests can verify the equations exactly.
+func (p *Path) onewayDelay(payload int) time.Duration {
+	nFrag, wire := p.fragments(payload)
+	d := p.cfg.SysOverhead + p.initDelay(payload)
+	for _, h := range p.hops() {
+		d += h.PropDelay
+		// Every fragment pays the processing delay at every hop.
+		d += time.Duration(nFrag) * h.ProcDelay
+		// Serialisation of all wire bytes at the rate left over by
+		// cross traffic: this is the S/B term of Eq. 3.4 and what a
+		// slope-based estimator ultimately measures.
+		d += time.Duration(float64(wire*8) / h.Available() * float64(time.Second))
+	}
+	return d
+}
+
+// returnDelay is the echo's trip back (small ICMP message).
+func (p *Path) returnDelay() time.Duration {
+	wire := icmpEcho + ipHeader + frameHeader
+	var d time.Duration
+	for _, h := range p.hops() {
+		d += h.PropDelay + h.ProcDelay +
+			time.Duration(float64(wire*8)/h.Available()*float64(time.Second))
+	}
+	return d
+}
+
+// noise draws a multiplicative queueing-jitter factor ≥ 0. Jitter is
+// one-sided (queues add delay, they never remove it), mimicking the
+// positive RTT spikes in the thesis's scatter plots.
+func (p *Path) noise(base time.Duration) time.Duration {
+	if p.cfg.Jitter <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := math.Abs(p.rng.NormFloat64()) * p.cfg.Jitter
+	// Occasional heavy-tail spike: a cross-traffic burst caught in a
+	// router queue.
+	if p.rng.Float64() < 0.02 {
+		n += p.rng.Float64() * p.cfg.Jitter * 10
+	}
+	return time.Duration(n * float64(base))
+}
+
+// ProbeRTT sends one UDP probe of the given payload size and returns
+// the time until the ICMP port-unreachable reply arrives — the §3.3.2
+// measurement primitive. Probes running concurrently on an attached
+// shared segment inflate one another's measured delays.
+func (p *Path) ProbeRTT(payload int) time.Duration {
+	leave, factor := p.enter()
+	defer leave()
+	base := p.onewayDelay(payload) + p.returnDelay()
+	d := base + p.noise(base)
+	if p.sharedSegment() != nil {
+		// Occupy the segment for a (scaled) real duration so probes
+		// issued concurrently genuinely overlap; detached paths stay
+		// purely analytic and instant.
+		time.Sleep(d / contentionTimeScale)
+	}
+	if factor > 1 {
+		// Contention delays only the size-dependent part: the rival's
+		// packets queue in front of ours at the shared links.
+		extra := time.Duration((factor - 1) * float64(d-p.BaseRTT()))
+		if extra > 0 {
+			d += extra
+		}
+	}
+	return d
+}
+
+// contentionTimeScale compresses segment occupancy: a probe holds its
+// shared segment for RTT/scale of wall time.
+const contentionTimeScale = 10
+
+func (p *Path) sharedSegment() *Segment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shared
+}
+
+// ProbePair sends two back-to-back probes of the given size and
+// returns the dispersion (gap) between their echoes at the sender —
+// the packet-pair primitive pipechar builds on. The dispersion equals
+// the serialisation time of the second packet at the tightest hop,
+// perturbed by queueing noise, which is exactly why pipechar "will
+// report wrong results" on paths with high delay variation (§3.3.1).
+func (p *Path) ProbePair(payload int) time.Duration {
+	_, wire := p.fragments(payload)
+	hops := p.hops()
+	bottleneck := math.Inf(1)
+	for _, h := range hops {
+		if h.Capacity < bottleneck {
+			bottleneck = h.Capacity
+		}
+	}
+	gap := time.Duration(float64(wire*8) / bottleneck * float64(time.Second))
+	// Cross traffic squeezes between the pair in proportion to
+	// utilization, widening the observed gap; jitter perturbs it both
+	// ways because the pair's echoes each suffer queueing.
+	util := 0.0
+	for _, h := range hops {
+		if h.Utilization > util {
+			util = h.Utilization
+		}
+	}
+	gap += time.Duration(util * float64(gap))
+	if p.cfg.Jitter > 0 {
+		p.mu.Lock()
+		n := p.rng.NormFloat64() * p.cfg.Jitter
+		p.mu.Unlock()
+		gap += time.Duration(n * float64(p.BaseRTT()) / 4)
+		if gap <= 0 {
+			gap = time.Microsecond
+		}
+	}
+	return gap
+}
+
+// SendStream sends n packets of the given payload size at the given
+// rate (bits per second) and returns their one-way delays — the SLoPS
+// primitive pathload builds on. When rate exceeds the available
+// bandwidth, the bottleneck queue grows by the rate excess for every
+// packet, so delays trend upward across the stream (§3.3.1).
+func (p *Path) SendStream(payload, n int, rate float64) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	base := p.onewayDelay(payload)
+	avail := p.AvailableBandwidth()
+	_, wire := p.fragments(payload)
+	interPacket := float64(wire*8) / rate // seconds between departures
+
+	delays := make([]time.Duration, n)
+	queue := 0.0 // seconds of backlog at the bottleneck
+	for i := 0; i < n; i++ {
+		if rate > avail {
+			// Each inter-packet interval, the bottleneck drains
+			// interPacket×avail bits but receives wire×8: the backlog
+			// grows by the difference (in time units at avail rate).
+			queue += float64(wire*8)/avail - interPacket
+			if queue < 0 {
+				queue = 0
+			}
+		} else {
+			queue = 0
+		}
+		d := base + time.Duration(queue*float64(time.Second))
+		delays[i] = d + p.noise(base)
+	}
+	return delays
+}
+
+// SetUtilization changes the cross-traffic load on one hop at runtime;
+// experiments use it to vary available bandwidth between runs.
+func (p *Path) SetUtilization(hop int, u float64) error {
+	if hop < 0 || hop >= len(p.cfg.Hops) {
+		return fmt.Errorf("simnet: path %q has no hop %d", p.cfg.Name, hop)
+	}
+	if u < 0 || u >= 1 {
+		return fmt.Errorf("simnet: utilization %v out of range [0,1)", u)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cfg.Hops[hop].Utilization = u
+	return nil
+}
+
+// ProbeHop sends a TTL-limited probe that expires at hop index i
+// (0-based) and returns the time until the ICMP time-exceeded reply
+// arrives — the primitive pipechar's hop-by-hop trace mode uses
+// (Appendix A). The probe traverses hops 0..i forward; the reply is a
+// small ICMP message retracing those hops.
+func (p *Path) ProbeHop(hop int, payload int) (time.Duration, error) {
+	hops := p.hops()
+	if hop < 0 || hop >= len(hops) {
+		return 0, fmt.Errorf("simnet: path %q has no hop %d", p.cfg.Name, hop)
+	}
+	nFrag, wire := p.fragments(payload)
+	d := p.cfg.SysOverhead + p.initDelay(payload)
+	for i := 0; i <= hop; i++ {
+		h := hops[i]
+		d += h.PropDelay
+		d += time.Duration(nFrag) * h.ProcDelay
+		d += time.Duration(float64(wire*8) / h.Available() * float64(time.Second))
+	}
+	// ICMP time-exceeded reply retraces hops 0..i.
+	replyWire := icmpEcho + ipHeader + frameHeader
+	for i := 0; i <= hop; i++ {
+		h := hops[i]
+		d += h.PropDelay + h.ProcDelay +
+			time.Duration(float64(replyWire*8)/h.Available()*float64(time.Second))
+	}
+	return d + p.noise(d), nil
+}
+
+// NumHops reports the path length for hop-by-hop tracing.
+func (p *Path) NumHops() int { return len(p.hops()) }

@@ -1,0 +1,338 @@
+package simnet
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// lanPath models the thesis's sagit→suna campus path: 100 Mbps
+// Ethernet, MTU 1500, Speed_init 25 Mbps.
+func lanPath(t *testing.T, jitter float64) *Path {
+	t.Helper()
+	p, err := New(Config{
+		Name:        "sagit-suna",
+		MTU:         1500,
+		SpeedInit:   25e6,
+		SysOverhead: 50 * time.Microsecond,
+		Jitter:      jitter,
+		Seed:        1,
+		Hops: []Hop{
+			{Capacity: 100e6, PropDelay: 20 * time.Microsecond, ProcDelay: 5 * time.Microsecond},
+			{Capacity: 100e6, PropDelay: 20 * time.Microsecond, ProcDelay: 5 * time.Microsecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Name: "empty"}); err == nil {
+		t.Error("accepted a path with no hops")
+	}
+	if _, err := New(Config{Hops: []Hop{{Capacity: 0}}}); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := New(Config{Hops: []Hop{{Capacity: 1e6, Utilization: 1.0}}}); err == nil {
+		t.Error("accepted utilization 1.0")
+	}
+	if _, err := New(Config{MTU: 20, Hops: []Hop{{Capacity: 1e6}}}); err == nil {
+		t.Error("accepted MTU smaller than headers")
+	}
+}
+
+func TestDelayMonotonicInSize(t *testing.T) {
+	p := lanPath(t, 0)
+	prev := time.Duration(0)
+	for s := 10; s <= 6000; s += 100 {
+		d := p.onewayDelay(s)
+		if d < prev {
+			t.Fatalf("onewayDelay(%d) = %v < previous %v", s, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMTUSlopeBreak(t *testing.T) {
+	// Figs 3.3–3.5: the RTT/size slope is steeper below the MTU by
+	// exactly 1/Speed_init (Eq. 3.6/3.7).
+	for _, mtu := range []int{1500, 1000, 500} {
+		p, err := New(Config{
+			Name: "mtu-test", MTU: mtu, SpeedInit: 25e6,
+			Hops: []Hop{{Capacity: 100e6}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sample two points well below and two well above the MTU.
+		loA, loB := mtu/4, mtu/2
+		hiA, hiB := 2*mtu, 4*mtu
+		slopeLo := (p.onewayDelay(loB) - p.onewayDelay(loA)).Seconds() / float64(loB-loA)
+		slopeHi := (p.onewayDelay(hiB) - p.onewayDelay(hiA)).Seconds() / float64(hiB-hiA)
+		if slopeLo <= slopeHi {
+			t.Errorf("MTU %d: slope below (%.3g) not steeper than above (%.3g)", mtu, slopeLo, slopeHi)
+		}
+		// Below the MTU the slope gains exactly 8/SpeedInit per byte.
+		wantGain := 8.0 / 25e6
+		gain := slopeLo - slopeHi
+		if math.Abs(gain-wantGain) > wantGain*0.35 {
+			t.Errorf("MTU %d: slope gain %.3g, want ≈ %.3g (1/Speed_init)", mtu, gain, wantGain)
+		}
+	}
+}
+
+func TestLoopbackHasNoThreshold(t *testing.T) {
+	// Observation 1 (§3.3.2): no threshold on loopback or virtual
+	// interfaces.
+	p, err := New(Config{
+		Name: "loopback", MTU: 0, SpeedInit: 25e6,
+		Hops: []Hop{{Capacity: 1e9, ProcDelay: time.Microsecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopeLo := (p.onewayDelay(700) - p.onewayDelay(300)).Seconds() / 400
+	slopeHi := (p.onewayDelay(4000) - p.onewayDelay(3000)).Seconds() / 1000
+	if rel := math.Abs(slopeLo-slopeHi) / slopeHi; rel > 0.05 {
+		t.Errorf("loopback slopes differ by %.1f%%, want none", rel*100)
+	}
+}
+
+func TestAvailableBandwidthIsBottleneck(t *testing.T) {
+	p, err := New(Config{
+		Name: "multi", MTU: 1500,
+		Hops: []Hop{
+			{Capacity: 1e9},
+			{Capacity: 100e6, Utilization: 0.4},
+			{Capacity: 622e6},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.AvailableBandwidth(), 60e6; math.Abs(got-want) > 1 {
+		t.Errorf("AvailableBandwidth = %v, want %v", got, want)
+	}
+	if eff := p.EffectiveBandwidth(); eff >= p.AvailableBandwidth() {
+		t.Errorf("EffectiveBandwidth %v should be below bottleneck %v", eff, p.AvailableBandwidth())
+	}
+}
+
+func TestFragmentCounts(t *testing.T) {
+	p := lanPath(t, 0)
+	cases := []struct {
+		payload int
+		frags   int
+	}{
+		{100, 1},
+		{1400, 1},
+		{1472, 1}, // 1472+8 = 1480 = 1500-20: exactly one fragment
+		{1473, 2}, // one byte over
+		{1600, 2}, // thesis S1
+		{2900, 2}, // thesis S2: same fragment count as S1 (rule 3)
+		{2960, 3}, // 2968 > 2×1480
+		{6000, 5}, // top of the sweep range
+	}
+	for _, c := range cases {
+		if n, _ := p.fragments(c.payload); n != c.frags {
+			t.Errorf("fragments(%d) = %d, want %d", c.payload, n, c.frags)
+		}
+	}
+}
+
+func TestThesisProbeSizesShareFragmentCount(t *testing.T) {
+	// Rule 3 of §3.3.2: S1=1600 and S2=2900 generate the same number
+	// of fragments under MTU 1500 — that is why the 7th group wins.
+	p := lanPath(t, 0)
+	n1, _ := p.fragments(1600)
+	n2, _ := p.fragments(2900)
+	if n1 != n2 {
+		t.Errorf("1600→%d fragments, 2900→%d; thesis pair must match", n1, n2)
+	}
+}
+
+func TestProbeRTTNoiseIsOneSided(t *testing.T) {
+	p := lanPath(t, 0.1)
+	base := p.onewayDelay(1000) + p.returnDelay()
+	for i := 0; i < 200; i++ {
+		if rtt := p.ProbeRTT(1000); rtt < base {
+			t.Fatalf("ProbeRTT %v below noise-free floor %v", rtt, base)
+		}
+	}
+}
+
+func TestProbeRTTDeterministicWithSeed(t *testing.T) {
+	a := lanPath(t, 0.05)
+	b := lanPath(t, 0.05)
+	for i := 0; i < 50; i++ {
+		if a.ProbeRTT(500) != b.ProbeRTT(500) {
+			t.Fatal("same seed produced different probe sequences")
+		}
+	}
+}
+
+func TestSendStreamTrendsUpAboveAvailableBandwidth(t *testing.T) {
+	p := lanPath(t, 0)
+	avail := p.AvailableBandwidth()
+	over := p.SendStream(300, 50, avail*1.5)
+	if !strictlyIncreasingTail(over) {
+		t.Error("delays should build up when rate > available bandwidth")
+	}
+	under := p.SendStream(300, 50, avail*0.5)
+	for i := 1; i < len(under); i++ {
+		if under[i] != under[0] {
+			t.Fatal("noise-free under-rate stream should have flat delays")
+		}
+	}
+}
+
+func strictlyIncreasingTail(d []time.Duration) bool {
+	for i := len(d) / 2; i+1 < len(d); i++ {
+		if d[i+1] <= d[i] {
+			return false
+		}
+	}
+	return len(d) > 2
+}
+
+func TestProbePairReflectsBottleneck(t *testing.T) {
+	p := lanPath(t, 0)
+	gap := p.ProbePair(1472)
+	_, wire := p.fragments(1472)
+	want := time.Duration(float64(wire*8) / 100e6 * float64(time.Second))
+	if math.Abs(float64(gap-want)) > float64(want)*0.01 {
+		t.Errorf("noise-free pair gap = %v, want %v", gap, want)
+	}
+}
+
+func TestSetUtilization(t *testing.T) {
+	p := lanPath(t, 0)
+	before := p.AvailableBandwidth()
+	if err := p.SetUtilization(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if after := p.AvailableBandwidth(); math.Abs(after-before/2) > 1 {
+		t.Errorf("available bandwidth = %v after 50%% load, want %v", after, before/2)
+	}
+	if err := p.SetUtilization(5, 0.1); err == nil {
+		t.Error("accepted out-of-range hop index")
+	}
+	if err := p.SetUtilization(0, 1.5); err == nil {
+		t.Error("accepted out-of-range utilization")
+	}
+}
+
+func TestConcurrentProbesAndUtilizationChanges(t *testing.T) {
+	p := lanPath(t, 0.05)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.ProbeRTT(1600)
+				p.SendStream(300, 5, 50e6)
+				p.AvailableBandwidth()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			p.SetUtilization(0, float64(j%9)/10)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestPropertyDelayScalesWithUtilization(t *testing.T) {
+	// More cross traffic never makes the noise-free delay smaller.
+	prop := func(u1Raw, u2Raw uint8, sizeRaw uint16) bool {
+		u1 := float64(u1Raw%90) / 100
+		u2 := float64(u2Raw%90) / 100
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		size := int(sizeRaw%6000) + 1
+		mk := func(u float64) *Path {
+			p, err := New(Config{
+				Name: "prop", MTU: 1500, SpeedInit: 25e6,
+				Hops: []Hop{{Capacity: 100e6, Utilization: u}},
+			})
+			if err != nil {
+				return nil
+			}
+			return p
+		}
+		a, b := mk(u1), mk(u2)
+		if a == nil || b == nil {
+			return false
+		}
+		return a.onewayDelay(size) <= b.onewayDelay(size)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseRTTMatchesPingScale(t *testing.T) {
+	// Table 3.2: a WAN path configured for ~126 ms should report a
+	// BaseRTT in that regime.
+	p, err := New(Config{
+		Name: "sagit-tokxp", MTU: 1500, SpeedInit: 25e6, Jitter: 0.2,
+		Hops: []Hop{
+			{Capacity: 100e6, PropDelay: 1 * time.Millisecond},
+			{Capacity: 155e6, PropDelay: 30 * time.Millisecond, Utilization: 0.3},
+			{Capacity: 622e6, PropDelay: 31 * time.Millisecond, Utilization: 0.2},
+			{Capacity: 100e6, PropDelay: 1 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := p.BaseRTT()
+	if rtt < 100*time.Millisecond || rtt > 160*time.Millisecond {
+		t.Errorf("BaseRTT = %v, want ≈126 ms", rtt)
+	}
+}
+
+func TestSharedSegmentContention(t *testing.T) {
+	// §3.3.3: concurrent probes interfere. Two paths on one segment;
+	// a probe while another is in flight measures a longer RTT.
+	seg := NewSegment()
+	a := lanPath(t, 0)
+	b := lanPath(t, 0)
+	a.AttachSegment(seg)
+	b.AttachSegment(seg)
+
+	solo := a.ProbeRTT(1600)
+
+	// Hold a probe "in flight" on b while probing a. The contention
+	// model counts in-flight rivals, so emulate one by entering b's
+	// segment directly through a long-running concurrent probe.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		leave, _ := b.enter()
+		close(started)
+		<-release
+		leave()
+	}()
+	<-started
+	contended := a.ProbeRTT(1600)
+	close(release)
+
+	if contended <= solo {
+		t.Errorf("contended RTT %v not above solo %v", contended, solo)
+	}
+	// Detached paths do not contend.
+	a.AttachSegment(nil)
+	if again := a.ProbeRTT(1600); again > solo*2 {
+		t.Errorf("detached path still contended: %v vs %v", again, solo)
+	}
+}

@@ -1,0 +1,39 @@
+package status
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Probe control messages (Chapter 6, selected parameters): the system
+// monitor may answer a probe's report datagram with an instruction
+// naming the parameter groups worth measuring. Like the reports
+// themselves, control messages travel as ASCII so heterogeneous
+// probes need no byte-order agreement.
+
+// controlVersion tags a probe control message.
+const controlVersion = "SSC1"
+
+// EncodeControl renders a field-mask instruction. The mask's bit
+// meaning is defined by the probe package (load, CPU, memory, disk,
+// network); this codec treats it as opaque.
+func EncodeControl(mask uint8) []byte {
+	return []byte(controlVersion + "|" + strconv.FormatUint(uint64(mask), 10))
+}
+
+// DecodeControl parses a control message. It returns an error for
+// anything that is not a well-formed control datagram, so probes can
+// cheaply ignore stray traffic on their socket.
+func DecodeControl(data []byte) (mask uint8, err error) {
+	s := string(data)
+	version, rest, ok := strings.Cut(s, "|")
+	if !ok || version != controlVersion {
+		return 0, fmt.Errorf("status: not a control message")
+	}
+	v, err := strconv.ParseUint(rest, 10, 8)
+	if err != nil {
+		return 0, fmt.Errorf("status: bad control mask %q: %v", rest, err)
+	}
+	return uint8(v), nil
+}

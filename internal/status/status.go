@@ -1,0 +1,254 @@
+// Package status defines the record types exchanged between the Smart
+// socket components — server status reports produced by probes, network
+// metric records produced by network monitors, and security records
+// produced by security monitors — together with the two wire codecs the
+// thesis describes: the endian-safe ASCII probe-report format (§3.2.1)
+// and the binary [type,size,data] framing used between transmitter and
+// receiver (§3.5.1).
+package status
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RecordType tags the payload of a transmitter frame (§3.5.1).
+type RecordType uint8
+
+const (
+	// TypeSystem frames carry a batch of ServerStatus records.
+	TypeSystem RecordType = 1
+	// TypeNetwork frames carry a batch of NetMetric records.
+	TypeNetwork RecordType = 2
+	// TypeSecurity frames carry a batch of SecLevel records.
+	TypeSecurity RecordType = 3
+	// TypeRequest frames carry an update request from a wizard to a
+	// transmitter running in distributed (passive) mode.
+	TypeRequest RecordType = 4
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case TypeSystem:
+		return "system"
+	case TypeNetwork:
+		return "network"
+	case TypeSecurity:
+		return "security"
+	case TypeRequest:
+		return "request"
+	}
+	return fmt.Sprintf("RecordType(%d)", uint8(t))
+}
+
+// ServerStatus is one server's resource usage snapshot, assembled by a
+// server probe from the five /proc files in Table 3.1 (or from a
+// synthetic source on a simulated host). All rate fields are per-second
+// values computed by the probe across its scan interval.
+type ServerStatus struct {
+	Host string // address the probe reports for itself (IP or name)
+
+	// /proc/loadavg
+	Load1, Load5, Load15 float64
+
+	// /proc/stat cpu line, normalised to fractions of total time over
+	// the scan interval. CPUFree is the idle fraction (host_cpu_free).
+	CPUUser, CPUNice, CPUSystem, CPUIdle float64
+
+	// /proc/cpuinfo: the thesis requirement language exposes bogomips
+	// so users can select by raw processor speed (Tables 5.3–5.4).
+	Bogomips float64
+
+	// /proc/meminfo, in bytes. The requirement language exposes
+	// host_memory_free in megabytes, as the thesis examples use
+	// "host_memory_free > 5" to mean 5 MB.
+	MemTotal, MemUsed, MemFree uint64
+
+	// /proc/stat disk_io, per-second rates.
+	DiskAllReq, DiskRReq, DiskRBlocks, DiskWReq, DiskWBlocks float64
+
+	// /proc/net/dev for the primary interface, per-second rates.
+	NetIface                                               string
+	NetRBytesPS, NetRPacketsPS, NetTBytesPS, NetTPacketsPS float64
+}
+
+// CPUFree reports the idle CPU fraction, the host_cpu_free variable.
+func (s *ServerStatus) CPUFree() float64 { return s.CPUIdle }
+
+// NetMetric is one (delay, bandwidth) measurement between two network
+// monitors (Table 3.4). Bandwidth is in bits per second.
+type NetMetric struct {
+	From, To  string
+	Delay     time.Duration
+	Bandwidth float64
+}
+
+// SecLevel is one host's security clearance level (§3.4.1): an integer
+// where higher means more trusted.
+type SecLevel struct {
+	Host  string
+	Level int
+}
+
+// Vars flattens a ServerStatus into the server-side variable bindings
+// the wizard hands to the requirement evaluator (Appendix B.1). Network
+// and security variables are merged in by the wizard because they come
+// from different databases.
+func (s *ServerStatus) Vars() map[string]float64 {
+	const mb = 1024 * 1024
+	return map[string]float64{
+		"host_system_load1":       s.Load1,
+		"host_system_load5":       s.Load5,
+		"host_system_load15":      s.Load15,
+		"host_cpu_user":           s.CPUUser,
+		"host_cpu_nice":           s.CPUNice,
+		"host_cpu_system":         s.CPUSystem,
+		"host_cpu_idle":           s.CPUIdle,
+		"host_cpu_free":           s.CPUFree(),
+		"host_cpu_bogomips":       s.Bogomips,
+		"host_memory_total":       float64(s.MemTotal) / mb,
+		"host_memory_used":        float64(s.MemUsed) / mb,
+		"host_memory_free":        float64(s.MemFree) / mb,
+		"host_memory_total_bytes": float64(s.MemTotal),
+		"host_memory_used_bytes":  float64(s.MemUsed),
+		"host_memory_free_bytes":  float64(s.MemFree),
+		"host_disk_allreq":        s.DiskAllReq,
+		"host_disk_rreq":          s.DiskRReq,
+		"host_disk_rblocks":       s.DiskRBlocks,
+		"host_disk_wreq":          s.DiskWReq,
+		"host_disk_wblocks":       s.DiskWBlocks,
+		"host_network_rbytesps":   s.NetRBytesPS,
+		"host_network_rpacketsps": s.NetRPacketsPS,
+		"host_network_tbytesps":   s.NetTBytesPS,
+		"host_network_tpacketsps": s.NetTPacketsPS,
+	}
+}
+
+// reportVersion is the leading tag of the ASCII probe report. Bump it
+// when fields change; decoders reject unknown versions rather than
+// guessing.
+const reportVersion = "SSR1"
+
+// reportFieldCount is the number of '|'-separated fields after the
+// version tag in an encoded report.
+const reportFieldCount = 22
+
+// EncodeReport renders a ServerStatus as the compact ASCII probe report
+// of §3.2.1. Numbers travel as decimal strings, so probes on big- and
+// little-endian machines interoperate without alignment or byte-order
+// concerns, at the cost of a slightly larger message (<200 bytes for
+// typical values, as the thesis measures).
+func EncodeReport(s *ServerStatus) []byte {
+	var b strings.Builder
+	b.Grow(200)
+	b.WriteString(reportVersion)
+	sep := func() { b.WriteByte('|') }
+	f := func(v float64) {
+		sep()
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	u := func(v uint64) {
+		sep()
+		b.WriteString(strconv.FormatUint(v, 10))
+	}
+	sep()
+	b.WriteString(escapeField(s.Host))
+	f(s.Load1)
+	f(s.Load5)
+	f(s.Load15)
+	f(s.CPUUser)
+	f(s.CPUNice)
+	f(s.CPUSystem)
+	f(s.CPUIdle)
+	f(s.Bogomips)
+	u(s.MemTotal)
+	u(s.MemUsed)
+	u(s.MemFree)
+	f(s.DiskAllReq)
+	f(s.DiskRReq)
+	f(s.DiskRBlocks)
+	f(s.DiskWReq)
+	f(s.DiskWBlocks)
+	sep()
+	b.WriteString(escapeField(s.NetIface))
+	f(s.NetRBytesPS)
+	f(s.NetRPacketsPS)
+	f(s.NetTBytesPS)
+	f(s.NetTPacketsPS)
+	return []byte(b.String())
+}
+
+// DecodeReport parses an ASCII probe report produced by EncodeReport.
+func DecodeReport(data []byte) (*ServerStatus, error) {
+	parts := strings.Split(string(data), "|")
+	if len(parts) != reportFieldCount+1 {
+		return nil, fmt.Errorf("status: report has %d fields, want %d", len(parts)-1, reportFieldCount)
+	}
+	if parts[0] != reportVersion {
+		return nil, fmt.Errorf("status: unknown report version %q", parts[0])
+	}
+	s := &ServerStatus{}
+	i := 1
+	next := func() string { v := parts[i]; i++; return v }
+	var err error
+	f := func(dst *float64) {
+		if err != nil {
+			return
+		}
+		v := next()
+		*dst, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			err = fmt.Errorf("status: bad float field %d %q: %v", i-1, v, err)
+		}
+	}
+	u := func(dst *uint64) {
+		if err != nil {
+			return
+		}
+		v := next()
+		*dst, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			err = fmt.Errorf("status: bad uint field %d %q: %v", i-1, v, err)
+		}
+	}
+	s.Host = unescapeField(next())
+	f(&s.Load1)
+	f(&s.Load5)
+	f(&s.Load15)
+	f(&s.CPUUser)
+	f(&s.CPUNice)
+	f(&s.CPUSystem)
+	f(&s.CPUIdle)
+	f(&s.Bogomips)
+	u(&s.MemTotal)
+	u(&s.MemUsed)
+	u(&s.MemFree)
+	f(&s.DiskAllReq)
+	f(&s.DiskRReq)
+	f(&s.DiskRBlocks)
+	f(&s.DiskWReq)
+	f(&s.DiskWBlocks)
+	s.NetIface = unescapeField(next())
+	f(&s.NetRBytesPS)
+	f(&s.NetRPacketsPS)
+	f(&s.NetTBytesPS)
+	f(&s.NetTPacketsPS)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// escapeField protects the report's '|' separator inside free-form
+// string fields (host names, interface names).
+func escapeField(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	return strings.ReplaceAll(s, "|", "%7C")
+}
+
+func unescapeField(s string) string {
+	s = strings.ReplaceAll(s, "%7C", "|")
+	return strings.ReplaceAll(s, "%25", "%")
+}

@@ -1,0 +1,262 @@
+package status
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleStatus() *ServerStatus {
+	return &ServerStatus{
+		Host:          "dalmatian.lab",
+		Load1:         0.42,
+		Load5:         0.31,
+		Load15:        0.18,
+		CPUUser:       0.12,
+		CPUNice:       0.01,
+		CPUSystem:     0.05,
+		CPUIdle:       0.82,
+		Bogomips:      4771.02,
+		MemTotal:      512 * 1024 * 1024,
+		MemUsed:       120 * 1024 * 1024,
+		MemFree:       392 * 1024 * 1024,
+		DiskAllReq:    15,
+		DiskRReq:      10,
+		DiskRBlocks:   80,
+		DiskWReq:      5,
+		DiskWBlocks:   40,
+		NetIface:      "eth0",
+		NetRBytesPS:   200000,
+		NetRPacketsPS: 150,
+		NetTBytesPS:   100000,
+		NetTPacketsPS: 90,
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	in := sampleStatus()
+	enc := EncodeReport(in)
+	out, err := DecodeReport(enc)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestReportSizeUnderPaperBound(t *testing.T) {
+	// §3.2.1: "The server status report message is less than 200 bytes
+	// long" for typical values.
+	enc := EncodeReport(sampleStatus())
+	if len(enc) >= 250 {
+		t.Errorf("report is %d bytes, want < 250", len(enc))
+	}
+}
+
+func TestReportEscapesSeparator(t *testing.T) {
+	in := sampleStatus()
+	in.Host = "weird|host%name"
+	out, err := DecodeReport(EncodeReport(in))
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if out.Host != in.Host {
+		t.Errorf("host = %q, want %q", out.Host, in.Host)
+	}
+}
+
+func TestDecodeReportRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"SSR1",
+		"SSR9|a|1|2|3|4|5|6|7|8|9|10|11|12|13|14|15|16|e|18|19|20|21|22|23|24",
+		"SSR1|host|notanumber|2|3|4|5|6|7|8|9|10|11|12|13|14|15|16|eth0|18|19|20|21",
+		strings.Repeat("|", 40),
+	}
+	for _, c := range cases {
+		if _, err := DecodeReport([]byte(c)); err == nil {
+			t.Errorf("DecodeReport(%.40q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestDecodeReportTruncatedFieldCount(t *testing.T) {
+	enc := EncodeReport(sampleStatus())
+	// Chop off the last field.
+	cut := bytes.LastIndexByte(enc, '|')
+	if _, err := DecodeReport(enc[:cut]); err == nil {
+		t.Error("decoding truncated report succeeded, want error")
+	}
+}
+
+func TestVarsCoverServerSideParameters(t *testing.T) {
+	vars := sampleStatus().Vars()
+	// Appendix B.1: the thesis exposes 22 server-side variables; this
+	// implementation adds the *_bytes aliases.
+	want := []string{
+		"host_system_load1", "host_system_load5", "host_system_load15",
+		"host_cpu_user", "host_cpu_nice", "host_cpu_system", "host_cpu_idle",
+		"host_cpu_free", "host_cpu_bogomips",
+		"host_memory_total", "host_memory_used", "host_memory_free",
+		"host_disk_allreq", "host_disk_rreq", "host_disk_rblocks",
+		"host_disk_wreq", "host_disk_wblocks",
+		"host_network_rbytesps", "host_network_rpacketsps",
+		"host_network_tbytesps", "host_network_tpacketsps",
+	}
+	for _, name := range want {
+		if _, ok := vars[name]; !ok {
+			t.Errorf("Vars() missing %q", name)
+		}
+	}
+	if got := vars["host_memory_free"]; got != 392 {
+		t.Errorf("host_memory_free = %v MB, want 392", got)
+	}
+	if got := vars["host_cpu_free"]; got != 0.82 {
+		t.Errorf("host_cpu_free = %v, want 0.82", got)
+	}
+}
+
+// genStatus builds a pseudo-random but encodable status record.
+func genStatus(r *rand.Rand) ServerStatus {
+	f := func() float64 { return math.Trunc(r.Float64()*1e6) / 100 }
+	return ServerStatus{
+		Host:  "h" + string(rune('a'+r.Intn(26))),
+		Load1: f(), Load5: f(), Load15: f(),
+		CPUUser: f(), CPUNice: f(), CPUSystem: f(), CPUIdle: f(),
+		Bogomips: f(),
+		MemTotal: r.Uint64() % (1 << 40), MemUsed: r.Uint64() % (1 << 40), MemFree: r.Uint64() % (1 << 40),
+		DiskAllReq: f(), DiskRReq: f(), DiskRBlocks: f(), DiskWReq: f(), DiskWBlocks: f(),
+		NetIface:    "eth0",
+		NetRBytesPS: f(), NetRPacketsPS: f(), NetTBytesPS: f(), NetTPacketsPS: f(),
+	}
+}
+
+func TestPropertyReportRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := genStatus(r)
+		out, err := DecodeReport(EncodeReport(&in))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(&in, out)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySystemBatchRoundTrip(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 20)
+		in := make([]ServerStatus, n)
+		for i := range in {
+			in[i] = genStatus(r)
+		}
+		out, err := UnmarshalSystemBatch(MarshalSystemBatch(in))
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetBatchRoundTrip(t *testing.T) {
+	in := []NetMetric{
+		{From: "netmon-1", To: "netmon-2", Delay: 5 * time.Millisecond, Bandwidth: 95e6},
+		{From: "netmon-1", To: "netmon-3", Delay: 126 * time.Millisecond, Bandwidth: 1.2e6},
+	}
+	out, err := UnmarshalNetBatch(MarshalNetBatch(in))
+	if err != nil {
+		t.Fatalf("UnmarshalNetBatch: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSecBatchRoundTrip(t *testing.T) {
+	in := []SecLevel{
+		{Host: "sagit", Level: 5},
+		{Host: "hacker.some.net", Level: -1},
+	}
+	out, err := UnmarshalSecBatch(MarshalSecBatch(in))
+	if err != nil {
+		t.Fatalf("UnmarshalSecBatch: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{Type: TypeSystem, Data: MarshalSystemBatch([]ServerStatus{*sampleStatus()})},
+		{Type: TypeNetwork, Data: MarshalNetBatch(nil)},
+		{Type: TypeRequest, Data: nil},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if got.Type != want.Type {
+			t.Errorf("frame %d type = %v, want %v", i, got.Type, want.Type)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("frame %d data mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("ReadFrame on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	hdr := []byte{byte(TypeSystem), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("ReadFrame accepted an oversize frame header")
+	}
+}
+
+func TestUnmarshalBatchRejectsTruncation(t *testing.T) {
+	full := MarshalSystemBatch([]ServerStatus{*sampleStatus(), *sampleStatus()})
+	for _, cut := range []int{0, 3, 5, len(full) / 2, len(full) - 1} {
+		if _, err := UnmarshalSystemBatch(full[:cut]); err == nil {
+			t.Errorf("UnmarshalSystemBatch accepted truncation at %d bytes", cut)
+		}
+	}
+	if _, err := UnmarshalSystemBatch(append(append([]byte{}, full...), 0x00)); err == nil {
+		t.Error("UnmarshalSystemBatch accepted trailing bytes")
+	}
+}
+
+func TestRecordTypeString(t *testing.T) {
+	if TypeSystem.String() != "system" || TypeRequest.String() != "request" {
+		t.Error("RecordType.String misbehaves for known types")
+	}
+	if s := RecordType(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("RecordType(99).String() = %q", s)
+	}
+}

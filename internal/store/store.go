@@ -1,0 +1,248 @@
+// Package store holds the three status databases — sysdb, netdb and
+// secdb (Fig 3.10) — that monitors write and the transmitter, receiver
+// and wizard read. In the thesis these live in System V shared memory
+// guarded by semaphores (Table 4.3); here the components are
+// goroutines sharing one process, so a mutex-guarded map provides the
+// same concurrent read/update semantics.
+//
+// Every record carries the timestamp of its last update. The system
+// monitor expires records whose probe has missed several report
+// intervals (§3.2.2), which is how servers leave the pool and how
+// failures are detected.
+package store
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"smartsock/internal/status"
+)
+
+// Clock abstracts time so tests can drive expiry deterministically.
+type Clock func() time.Time
+
+// SysRecord is a server status report plus its arrival time.
+type SysRecord struct {
+	Status    status.ServerStatus
+	UpdatedAt time.Time
+}
+
+// NetRecord is a network metric plus its measurement time.
+type NetRecord struct {
+	Metric    status.NetMetric
+	UpdatedAt time.Time
+}
+
+// SecRecord is a security level plus its report time.
+type SecRecord struct {
+	Level     status.SecLevel
+	UpdatedAt time.Time
+}
+
+// DB is the full status database shared by the monitors, the
+// transmitter/receiver pair and the wizard.
+type DB struct {
+	mu    sync.RWMutex
+	clock Clock
+	sys   map[string]SysRecord // keyed by server host
+	net   map[string]NetRecord // keyed by From+"→"+To
+	sec   map[string]SecRecord // keyed by host
+}
+
+// New creates an empty database using the real clock.
+func New() *DB { return NewWithClock(time.Now) }
+
+// NewWithClock creates an empty database with an injected clock.
+func NewWithClock(c Clock) *DB {
+	return &DB{
+		clock: c,
+		sys:   make(map[string]SysRecord),
+		net:   make(map[string]NetRecord),
+		sec:   make(map[string]SecRecord),
+	}
+}
+
+func netKey(from, to string) string { return from + "\x00" + to }
+
+// PutSys inserts or updates a server status record (§3.2.2: existing
+// addresses are updated in place, new ones inserted).
+func (db *DB) PutSys(s status.ServerStatus) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.sys[s.Host] = SysRecord{Status: s, UpdatedAt: db.clock()}
+}
+
+// GetSys returns the record for one host.
+func (db *DB) GetSys(host string) (SysRecord, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.sys[host]
+	return r, ok
+}
+
+// Sys returns all server records, sorted by host for determinism.
+func (db *DB) Sys() []SysRecord {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]SysRecord, 0, len(db.sys))
+	for _, r := range db.sys {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Status.Host < out[j].Status.Host })
+	return out
+}
+
+// SysLen reports the number of live server records.
+func (db *DB) SysLen() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.sys)
+}
+
+// ExpireSys removes server records older than maxAge and returns the
+// expired hosts. The system monitor calls this regularly; an expired
+// server receives no further tasks until its probe resumes (§3.2.2).
+func (db *DB) ExpireSys(maxAge time.Duration) []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cutoff := db.clock().Add(-maxAge)
+	var expired []string
+	for host, r := range db.sys {
+		if r.UpdatedAt.Before(cutoff) {
+			delete(db.sys, host)
+			expired = append(expired, host)
+		}
+	}
+	sort.Strings(expired)
+	return expired
+}
+
+// PutNet inserts or updates a network metric record.
+func (db *DB) PutNet(m status.NetMetric) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.net[netKey(m.From, m.To)] = NetRecord{Metric: m, UpdatedAt: db.clock()}
+}
+
+// GetNet returns the metric for one directed monitor pair.
+func (db *DB) GetNet(from, to string) (NetRecord, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.net[netKey(from, to)]
+	return r, ok
+}
+
+// Net returns all network records, sorted by (From, To).
+func (db *DB) Net() []NetRecord {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]NetRecord, 0, len(db.net))
+	for _, r := range db.net {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Metric.From != out[j].Metric.From {
+			return out[i].Metric.From < out[j].Metric.From
+		}
+		return out[i].Metric.To < out[j].Metric.To
+	})
+	return out
+}
+
+// ExpireNet removes network records older than maxAge.
+func (db *DB) ExpireNet(maxAge time.Duration) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cutoff := db.clock().Add(-maxAge)
+	n := 0
+	for k, r := range db.net {
+		if r.UpdatedAt.Before(cutoff) {
+			delete(db.net, k)
+			n++
+		}
+	}
+	return n
+}
+
+// PutSec inserts or updates a security record.
+func (db *DB) PutSec(l status.SecLevel) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.sec[l.Host] = SecRecord{Level: l, UpdatedAt: db.clock()}
+}
+
+// GetSec returns the security record for one host.
+func (db *DB) GetSec(host string) (SecRecord, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.sec[host]
+	return r, ok
+}
+
+// Sec returns all security records, sorted by host.
+func (db *DB) Sec() []SecRecord {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]SecRecord, 0, len(db.sec))
+	for _, r := range db.sec {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level.Host < out[j].Level.Host })
+	return out
+}
+
+// Snapshot copies the three databases into plain batches, the unit the
+// transmitter ships to the receiver (§3.5.1).
+func (db *DB) Snapshot() (sys []status.ServerStatus, net []status.NetMetric, sec []status.SecLevel) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	sys = make([]status.ServerStatus, 0, len(db.sys))
+	for _, r := range db.sys {
+		sys = append(sys, r.Status)
+	}
+	net = make([]status.NetMetric, 0, len(db.net))
+	for _, r := range db.net {
+		net = append(net, r.Metric)
+	}
+	sec = make([]status.SecLevel, 0, len(db.sec))
+	for _, r := range db.sec {
+		sec = append(sec, r.Level)
+	}
+	sort.Slice(sys, func(i, j int) bool { return sys[i].Host < sys[j].Host })
+	sort.Slice(net, func(i, j int) bool {
+		if net[i].From != net[j].From {
+			return net[i].From < net[j].From
+		}
+		return net[i].To < net[j].To
+	})
+	sort.Slice(sec, func(i, j int) bool { return sec[i].Host < sec[j].Host })
+	return sys, net, sec
+}
+
+// Load replaces whole sections of the database from received batches;
+// the receiver uses it to mirror the transmitter's contents (§3.5.2).
+// Nil slices leave the corresponding section untouched.
+func (db *DB) Load(sys []status.ServerStatus, net []status.NetMetric, sec []status.SecLevel) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock()
+	if sys != nil {
+		db.sys = make(map[string]SysRecord, len(sys))
+		for _, s := range sys {
+			db.sys[s.Host] = SysRecord{Status: s, UpdatedAt: now}
+		}
+	}
+	if net != nil {
+		db.net = make(map[string]NetRecord, len(net))
+		for _, m := range net {
+			db.net[netKey(m.From, m.To)] = NetRecord{Metric: m, UpdatedAt: now}
+		}
+	}
+	if sec != nil {
+		db.sec = make(map[string]SecRecord, len(sec))
+		for _, l := range sec {
+			db.sec[l.Host] = SecRecord{Level: l, UpdatedAt: now}
+		}
+	}
+}

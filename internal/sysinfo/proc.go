@@ -1,0 +1,340 @@
+package sysinfo
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	stdsync "sync"
+	"time"
+
+	"smartsock/internal/status"
+)
+
+// The five /proc nodes of §4.1 (diskstats replaces the 2.4-kernel
+// disk_io line in /proc/stat on modern kernels; cpuinfo supplies
+// bogomips).
+const (
+	loadavgFile   = "loadavg"
+	statFile      = "stat"
+	meminfoFile   = "meminfo"
+	netdevFile    = "net/dev"
+	diskstatsFile = "diskstats"
+	cpuinfoFile   = "cpuinfo"
+)
+
+// ProcSource reads live status from a Linux /proc tree. It keeps the
+// previous scan's cumulative counters so CPU, disk and network figures
+// come out as per-interval rates, the way the thesis probe reports
+// them.
+type ProcSource struct {
+	host string
+	root string // usually "/proc"; tests point it at a fixture tree
+
+	mu       stdsync.Mutex
+	prev     counters
+	prevTime time.Time
+	bogomips float64 // cached; cpuinfo does not change
+}
+
+type counters struct {
+	cpuUser, cpuNice, cpuSystem, cpuIdle uint64
+	diskReads, diskReadSectors           uint64
+	diskWrites, diskWriteSectors         uint64
+	netRBytes, netRPackets               uint64
+	netTBytes, netTPackets               uint64
+	netIface                             string
+	valid                                bool
+}
+
+// NewProcSource creates a live /proc reader reporting under the given
+// host name. root is the /proc mount point ("/proc" in production;
+// tests supply a fixture directory).
+func NewProcSource(host, root string) *ProcSource {
+	return &ProcSource{host: host, root: root}
+}
+
+// Snapshot scans the /proc tree. The first call reports rates
+// averaged since boot; later calls report rates over the interval
+// since the previous call, matching the probe's periodic scan.
+func (p *ProcSource) Snapshot() (status.ServerStatus, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	var s status.ServerStatus
+	s.Host = p.host
+
+	if err := p.readLoadavg(&s); err != nil {
+		return s, err
+	}
+	cur, err := p.readCounters()
+	if err != nil {
+		return s, err
+	}
+	if err := p.readMeminfo(&s); err != nil {
+		return s, err
+	}
+	if p.bogomips == 0 {
+		p.bogomips = p.readBogomips()
+	}
+	s.Bogomips = p.bogomips
+	s.NetIface = cur.netIface
+
+	now := time.Now()
+	if p.prev.valid {
+		dt := now.Sub(p.prevTime).Seconds()
+		if dt <= 0 {
+			dt = 1e-9
+		}
+		fillRates(&s, p.prev, cur, dt)
+	} else {
+		// First scan: CPU fractions since boot; IO rates unknown.
+		total := cur.cpuUser + cur.cpuNice + cur.cpuSystem + cur.cpuIdle
+		if total > 0 {
+			s.CPUUser = float64(cur.cpuUser) / float64(total)
+			s.CPUNice = float64(cur.cpuNice) / float64(total)
+			s.CPUSystem = float64(cur.cpuSystem) / float64(total)
+			s.CPUIdle = float64(cur.cpuIdle) / float64(total)
+		}
+	}
+	p.prev = cur
+	p.prevTime = now
+	return s, nil
+}
+
+func fillRates(s *status.ServerStatus, prev, cur counters, dt float64) {
+	du := cur.cpuUser - prev.cpuUser
+	dn := cur.cpuNice - prev.cpuNice
+	ds := cur.cpuSystem - prev.cpuSystem
+	di := cur.cpuIdle - prev.cpuIdle
+	total := du + dn + ds + di
+	if total > 0 {
+		s.CPUUser = float64(du) / float64(total)
+		s.CPUNice = float64(dn) / float64(total)
+		s.CPUSystem = float64(ds) / float64(total)
+		s.CPUIdle = float64(di) / float64(total)
+	}
+	rate := func(a, b uint64) float64 {
+		if b < a {
+			return 0 // counter wrapped or interface reset
+		}
+		return float64(b-a) / dt
+	}
+	s.DiskRReq = rate(prev.diskReads, cur.diskReads)
+	s.DiskRBlocks = rate(prev.diskReadSectors, cur.diskReadSectors)
+	s.DiskWReq = rate(prev.diskWrites, cur.diskWrites)
+	s.DiskWBlocks = rate(prev.diskWriteSectors, cur.diskWriteSectors)
+	s.DiskAllReq = s.DiskRReq + s.DiskWReq
+	s.NetRBytesPS = rate(prev.netRBytes, cur.netRBytes)
+	s.NetRPacketsPS = rate(prev.netRPackets, cur.netRPackets)
+	s.NetTBytesPS = rate(prev.netTBytes, cur.netTBytes)
+	s.NetTPacketsPS = rate(prev.netTPackets, cur.netTPackets)
+}
+
+func (p *ProcSource) readLoadavg(s *status.ServerStatus) error {
+	data, err := os.ReadFile(filepath.Join(p.root, loadavgFile))
+	if err != nil {
+		return fmt.Errorf("sysinfo: %w", err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 3 {
+		return fmt.Errorf("sysinfo: malformed loadavg %q", string(data))
+	}
+	vals := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return fmt.Errorf("sysinfo: bad loadavg field %q: %v", fields[i], err)
+		}
+		vals[i] = v
+	}
+	s.Load1, s.Load5, s.Load15 = vals[0], vals[1], vals[2]
+	return nil
+}
+
+func (p *ProcSource) readCounters() (counters, error) {
+	var c counters
+	if err := p.readStat(&c); err != nil {
+		return c, err
+	}
+	// diskstats and net/dev are best-effort: containers and unusual
+	// kernels may omit them, and the probe should still report CPU
+	// and memory.
+	p.readDiskstats(&c)
+	p.readNetdev(&c)
+	c.valid = true
+	return c, nil
+}
+
+func (p *ProcSource) readStat(c *counters) error {
+	f, err := os.Open(filepath.Join(p.root, statFile))
+	if err != nil {
+		return fmt.Errorf("sysinfo: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 5 && fields[0] == "cpu" {
+			vals := make([]uint64, 4)
+			for i := 0; i < 4; i++ {
+				v, err := strconv.ParseUint(fields[i+1], 10, 64)
+				if err != nil {
+					return fmt.Errorf("sysinfo: bad cpu field %q: %v", fields[i+1], err)
+				}
+				vals[i] = v
+			}
+			c.cpuUser, c.cpuNice, c.cpuSystem, c.cpuIdle = vals[0], vals[1], vals[2], vals[3]
+			return sc.Err()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sysinfo: %w", err)
+	}
+	return fmt.Errorf("sysinfo: no cpu line in %s", statFile)
+}
+
+func (p *ProcSource) readMeminfo(s *status.ServerStatus) error {
+	f, err := os.Open(filepath.Join(p.root, meminfoFile))
+	if err != nil {
+		return fmt.Errorf("sysinfo: %w", err)
+	}
+	defer f.Close()
+	var total, free, buffers, cached uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		v *= 1024 // meminfo reports kB
+		switch fields[0] {
+		case "MemTotal:":
+			total = v
+		case "MemFree:":
+			free = v
+		case "Buffers:":
+			buffers = v
+		case "Cached:":
+			cached = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sysinfo: %w", err)
+	}
+	if total == 0 {
+		return fmt.Errorf("sysinfo: no MemTotal in %s", meminfoFile)
+	}
+	// Like the thesis (Table 4.1), buffers and cache count as
+	// reclaimable, so "free" memory is free+buffers+cached.
+	avail := free + buffers + cached
+	if avail > total {
+		avail = total
+	}
+	s.MemTotal = total
+	s.MemFree = avail
+	s.MemUsed = total - avail
+	return nil
+}
+
+func (p *ProcSource) readDiskstats(c *counters) {
+	f, err := os.Open(filepath.Join(p.root, diskstatsFile))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		// major minor name reads rmerged rsectors rms writes wmerged
+		// wsectors ...
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 10 {
+			continue
+		}
+		name := fields[2]
+		// Whole devices only; partitions would double-count.
+		if strings.HasPrefix(name, "loop") || strings.HasPrefix(name, "ram") ||
+			lastByteDigit(name) && (strings.HasPrefix(name, "sd") || strings.HasPrefix(name, "vd") || strings.HasPrefix(name, "hd")) {
+			continue
+		}
+		u := func(i int) uint64 {
+			v, _ := strconv.ParseUint(fields[i], 10, 64)
+			return v
+		}
+		c.diskReads += u(3)
+		c.diskReadSectors += u(5)
+		c.diskWrites += u(7)
+		c.diskWriteSectors += u(9)
+	}
+}
+
+func lastByteDigit(s string) bool {
+	if s == "" {
+		return false
+	}
+	b := s[len(s)-1]
+	return b >= '0' && b <= '9'
+}
+
+func (p *ProcSource) readNetdev(c *counters) {
+	f, err := os.Open(filepath.Join(p.root, netdevFile))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		name := strings.TrimSpace(line[:colon])
+		if name == "lo" {
+			continue
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) < 10 {
+			continue
+		}
+		u := func(i int) uint64 {
+			v, _ := strconv.ParseUint(fields[i], 10, 64)
+			return v
+		}
+		// Aggregate all physical interfaces; report the first name.
+		if c.netIface == "" {
+			c.netIface = name
+		}
+		c.netRBytes += u(0)
+		c.netRPackets += u(1)
+		c.netTBytes += u(8)
+		c.netTPackets += u(9)
+	}
+}
+
+func (p *ProcSource) readBogomips() float64 {
+	f, err := os.Open(filepath.Join(p.root, cpuinfoFile))
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(strings.ToLower(line), "bogomips") {
+			continue
+		}
+		if i := strings.IndexByte(line, ':'); i >= 0 {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+// Package sysinfo produces the raw server-status snapshots that
+// server probes report (§3.2.1, §4.1). Two sources are provided:
+//
+//   - ProcSource reads the live Linux /proc interface the thesis uses
+//     (/proc/loadavg, /proc/stat, /proc/meminfo, /proc/net/dev,
+//     /proc/diskstats, /proc/cpuinfo) and converts cumulative kernel
+//     counters into per-interval rates.
+//
+//   - Synthetic is a deterministic, programmable source used for the
+//     simulated testbed: experiments set load, CPU, memory and IO
+//     figures directly (or via the workload package) and every probe
+//     on a virtual host reads them.
+//
+// Both implement Source, so the probe is indifferent to where status
+// comes from — the substitution the reproduction depends on.
+package sysinfo
+
+import (
+	"sync"
+
+	"smartsock/internal/status"
+)
+
+// Source yields one server-status snapshot per call. Implementations
+// own any state needed to turn cumulative counters into rates.
+type Source interface {
+	Snapshot() (status.ServerStatus, error)
+}
+
+// Synthetic is a programmable status source for virtual hosts. The
+// zero value is unusable; use NewSynthetic.
+type Synthetic struct {
+	mu sync.Mutex
+	s  status.ServerStatus
+}
+
+// NewSynthetic creates a synthetic source reporting the given initial
+// status. The Host field identifies the virtual machine.
+func NewSynthetic(initial status.ServerStatus) *Synthetic {
+	return &Synthetic{s: initial}
+}
+
+// Snapshot returns the current programmed status.
+func (sy *Synthetic) Snapshot() (status.ServerStatus, error) {
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	return sy.s, nil
+}
+
+// Update applies fn to the programmed status under the source's lock.
+// Workload generators use it to consume memory and CPU atomically.
+func (sy *Synthetic) Update(fn func(*status.ServerStatus)) {
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	fn(&sy.s)
+}
+
+// Idle returns a ServerStatus describing an unloaded machine with the
+// given host name, bogomips rating and memory size — the baseline
+// state of a testbed host (Table 5.1).
+func Idle(host string, bogomips float64, memMB uint64) status.ServerStatus {
+	total := memMB * 1024 * 1024
+	used := total / 8 // a freshly booted machine holds some kernel/cache pages
+	return status.ServerStatus{
+		Host:      host,
+		Load1:     0.01,
+		Load5:     0.02,
+		Load15:    0.01,
+		CPUUser:   0.01,
+		CPUNice:   0,
+		CPUSystem: 0.01,
+		CPUIdle:   0.98,
+		Bogomips:  bogomips,
+		MemTotal:  total,
+		MemUsed:   used,
+		MemFree:   total - used,
+		NetIface:  "eth0",
+	}
+}

@@ -1,0 +1,119 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"smartsock/internal/simnet"
+)
+
+// Path constructors for the network links the thesis measures: the
+// campus LAN of §3.3.2 (sagit→suna) and the six RTT-measurement
+// paths of Table 3.2. Capacities, delays and jitter are set to land
+// each path's ping RTT and measured bandwidth in the regime the
+// thesis reports.
+
+// SpeedInit is the kernel→NIC first-frame initialization speed the
+// thesis estimates on its testbed (§3.3.2): ≈25 Mbps.
+const SpeedInit = 25e6
+
+// CampusPath is sagit→suna: 100 Mbps Ethernet, a couple of switch
+// hops, sub-millisecond RTT, configurable MTU (the thesis re-runs the
+// sweep at 1500, 1000 and 500 bytes).
+func CampusPath(mtu int, seed int64) (*simnet.Path, error) {
+	return simnet.New(simnet.Config{
+		Name:        fmt.Sprintf("sagit-suna-mtu%d", mtu),
+		MTU:         mtu,
+		SpeedInit:   SpeedInit,
+		SysOverhead: 40 * time.Microsecond,
+		Jitter:      0.015,
+		Seed:        seed,
+		Hops: []simnet.Hop{
+			// The 100 Mbps access link is the bottleneck; the switch
+			// fabric forwards at gigabit speed, so the slope-based
+			// estimate lands near the paper's ≈92–95 Mbps.
+			{Capacity: 100e6, PropDelay: 15 * time.Microsecond, ProcDelay: 3 * time.Microsecond},
+			{Capacity: 1e9, PropDelay: 15 * time.Microsecond, ProcDelay: 3 * time.Microsecond},
+		},
+	})
+}
+
+// Table32Path returns one of the six RTT-measurement paths of Table
+// 3.2 by index letter (a–f).
+func Table32Path(index string, seed int64) (*simnet.Path, error) {
+	switch index {
+	case "a": // sagit → tokxp: NUS campus to APAN Japan, ping 126 ms
+		return simnet.New(simnet.Config{
+			Name: "sagit-tokxp", MTU: 1500, SpeedInit: SpeedInit, Jitter: 0.18, Seed: seed,
+			Hops: []simnet.Hop{
+				{Capacity: 100e6, PropDelay: 500 * time.Microsecond, ProcDelay: 5 * time.Microsecond},
+				{Capacity: 155e6, PropDelay: 30 * time.Millisecond, ProcDelay: 10 * time.Microsecond, Utilization: 0.35},
+				{Capacity: 622e6, PropDelay: 31 * time.Millisecond, ProcDelay: 10 * time.Microsecond, Utilization: 0.25},
+				{Capacity: 100e6, PropDelay: 1 * time.Millisecond, ProcDelay: 5 * time.Microsecond},
+			},
+		})
+	case "b": // sagit → cmui: NUS to CMU USA, ping 238 ms
+		return simnet.New(simnet.Config{
+			Name: "sagit-cmui", MTU: 1500, SpeedInit: SpeedInit, Jitter: 0.30, Seed: seed,
+			Hops: []simnet.Hop{
+				{Capacity: 100e6, PropDelay: 500 * time.Microsecond, ProcDelay: 5 * time.Microsecond},
+				{Capacity: 155e6, PropDelay: 55 * time.Millisecond, ProcDelay: 10 * time.Microsecond, Utilization: 0.45},
+				{Capacity: 2.5e9, PropDelay: 60 * time.Millisecond, ProcDelay: 10 * time.Microsecond, Utilization: 0.30},
+				{Capacity: 100e6, PropDelay: 2 * time.Millisecond, ProcDelay: 5 * time.Microsecond},
+			},
+		})
+	case "c": // sagit → ubin: local network segment, ping 0.262 ms
+		return simnet.New(simnet.Config{
+			Name: "sagit-ubin", MTU: 1500, SpeedInit: SpeedInit,
+			SysOverhead: 30 * time.Microsecond, Jitter: 0.02, Seed: seed,
+			Hops: []simnet.Hop{
+				{Capacity: 100e6, PropDelay: 100 * time.Microsecond, ProcDelay: 3 * time.Microsecond},
+			},
+		})
+	case "d": // tokxp → jpfreebsd: APAN to a Japanese ftp server, 0.552 ms
+		return simnet.New(simnet.Config{
+			Name: "tokxp-jpfreebsd", MTU: 1500, SpeedInit: SpeedInit,
+			SysOverhead: 40 * time.Microsecond, Jitter: 0.04, Seed: seed,
+			Hops: []simnet.Hop{
+				{Capacity: 100e6, PropDelay: 60 * time.Microsecond, ProcDelay: 4 * time.Microsecond, Utilization: 0.1},
+				{Capacity: 100e6, PropDelay: 60 * time.Microsecond, ProcDelay: 4 * time.Microsecond},
+			},
+		})
+	case "e": // helene → atlas: same switch, 0.196 ms
+		return simnet.New(simnet.Config{
+			Name: "helene-atlas", MTU: 1500, SpeedInit: SpeedInit,
+			SysOverhead: 25 * time.Microsecond, Jitter: 0.015, Seed: seed,
+			Hops: []simnet.Hop{
+				{Capacity: 100e6, PropDelay: 75 * time.Microsecond, ProcDelay: 2 * time.Microsecond},
+			},
+		})
+	case "f": // sagit → localhost: loopback, 0.041 ms, no MTU effect
+		return simnet.New(simnet.Config{
+			Name: "sagit-localhost", MTU: 0, SpeedInit: 0,
+			SysOverhead: 20 * time.Microsecond, Jitter: 0.01, Seed: seed,
+			Hops: []simnet.Hop{
+				{Capacity: 2e9, PropDelay: time.Microsecond, ProcDelay: time.Microsecond},
+			},
+		})
+	}
+	return nil, fmt.Errorf("testbed: unknown Table 3.2 path %q (want a-f)", index)
+}
+
+// GroupPath builds the client→group path used in the massd
+// experiments: a 10 Mbps access link whose available bandwidth is
+// pinned to availMbps by cross-traffic utilization — the simulated
+// face of the rshaper setting on the file servers.
+func GroupPath(group string, availMbps float64, seed int64) (*simnet.Path, error) {
+	if availMbps <= 0 || availMbps > 10 {
+		return nil, fmt.Errorf("testbed: massd group bandwidth %v outside the thesis's 0–10 Mbps range", availMbps)
+	}
+	return simnet.New(simnet.Config{
+		Name: "client-" + group, MTU: 1500, SpeedInit: SpeedInit,
+		SysOverhead: 40 * time.Microsecond, Jitter: 0.015, Seed: seed,
+		Hops: []simnet.Hop{
+			{Capacity: 100e6, PropDelay: 20 * time.Microsecond, ProcDelay: 3 * time.Microsecond},
+			{Capacity: 10e6, PropDelay: 100 * time.Microsecond, ProcDelay: 5 * time.Microsecond,
+				Utilization: 1 - availMbps/10},
+		},
+	})
+}

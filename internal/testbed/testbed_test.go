@@ -1,0 +1,208 @@
+package testbed
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"smartsock/internal/simnet"
+	"smartsock/internal/status"
+)
+
+func TestMachinesMatchTable51(t *testing.T) {
+	machines := Machines()
+	if len(machines) != 11 {
+		t.Fatalf("testbed has %d machines, Table 5.1 lists 11", len(machines))
+	}
+	byName := map[string]Machine{}
+	for _, m := range machines {
+		byName[m.Name] = m
+	}
+	// Spot-check hardware figures straight from Table 5.1.
+	checks := []struct {
+		name     string
+		bogomips float64
+		ram      uint64
+	}{
+		{"sagit", 1730.15, 128},
+		{"dalmatian", 4771.02, 512},
+		{"mimas", 3394.76, 192},
+		{"pandora-x", 3591.37, 256},
+	}
+	for _, c := range checks {
+		m, ok := byName[c.name]
+		if !ok {
+			t.Errorf("missing machine %q", c.name)
+			continue
+		}
+		if m.Bogomips != c.bogomips || m.RAMMB != c.ram {
+			t.Errorf("%s = %v bogomips / %d MB, want %v / %d",
+				c.name, m.Bogomips, m.RAMMB, c.bogomips, c.ram)
+		}
+	}
+}
+
+func TestFig52SpeedOrdering(t *testing.T) {
+	// Fig 5.2's finding: P3-866 and P4-2.4 beat the P4 1.6–1.8 class.
+	byName := map[string]Machine{}
+	for _, m := range Machines() {
+		byName[m.Name] = m
+	}
+	fast := []string{"sagit", "lhost", "dalmatian", "dione"}
+	slow := []string{"mimas", "telesto", "helene", "phoebe", "calypso", "titan-x", "pandora-x"}
+	for _, f := range fast {
+		for _, s := range slow {
+			if byName[f].Speed <= byName[s].Speed {
+				t.Errorf("%s (%.2f) should be faster than %s (%.2f)",
+					f, byName[f].Speed, s, byName[s].Speed)
+			}
+		}
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	if _, ok := MachineByName("dione"); !ok {
+		t.Error("dione not found")
+	}
+	if _, ok := MachineByName("nonesuch"); ok {
+		t.Error("found a machine that does not exist")
+	}
+}
+
+func TestBootCentralizedPipeline(t *testing.T) {
+	cluster, err := Boot(Options{
+		Machines: []Machine{
+			{Name: "m1", Bogomips: 4771, RAMMB: 512, Speed: 1},
+			{Name: "m2", Bogomips: 1730, RAMMB: 128, Speed: 1},
+		},
+		ProbeInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := cluster.WaitSettled(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := cluster.WizardDB.GetSys("m1")
+	if !ok {
+		t.Fatal("m1 never reached the wizard database")
+	}
+	if rec.Status.Bogomips != 4771 {
+		t.Errorf("m1 bogomips = %v", rec.Status.Bogomips)
+	}
+	// Security defaults to level 3 for everyone.
+	sec, ok := cluster.WizardDB.GetSec("m2")
+	if !ok || sec.Level.Level != 3 {
+		t.Errorf("m2 security = %+v (%v)", sec, ok)
+	}
+}
+
+func TestBootWithGroupPaths(t *testing.T) {
+	p1, err := GroupPath("group-1", 6.72, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := Boot(Options{
+		Machines: []Machine{
+			{Name: "srv", Bogomips: 3000, RAMMB: 256, Speed: 1, Group: "group-1"},
+		},
+		ProbeInterval: 30 * time.Millisecond,
+		GroupPaths:    map[string]*simnet.Path{"group-1": p1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := cluster.WaitSettled(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := cluster.WizardDB.GetNet("netmon-local", "group-1")
+	if !ok {
+		t.Fatal("no network record for group-1")
+	}
+	got := rec.Metric.Bandwidth / 1e6
+	if got < 5 || got > 8.5 {
+		t.Errorf("measured group-1 bandwidth %.2f Mbps, configured 6.72", got)
+	}
+}
+
+func TestBootCustomSecurityLevels(t *testing.T) {
+	cluster, err := Boot(Options{
+		Machines: []Machine{
+			{Name: "trusted", Bogomips: 1000, RAMMB: 128, Speed: 1},
+		},
+		ProbeInterval:  30 * time.Millisecond,
+		SecurityLevels: []status.SecLevel{{Host: "trusted", Level: 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := cluster.WaitSettled(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	sec, ok := cluster.WizardDB.GetSec("trusted")
+	if !ok || sec.Level.Level != 9 {
+		t.Errorf("security level = %+v (%v), want 9", sec, ok)
+	}
+}
+
+func TestGroupPathValidation(t *testing.T) {
+	if _, err := GroupPath("g", 0, 1); err == nil {
+		t.Error("accepted 0 Mbps")
+	}
+	if _, err := GroupPath("g", 11, 1); err == nil {
+		t.Error("accepted > 10 Mbps (outside the thesis's rshaper range)")
+	}
+	p, err := GroupPath("g", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := p.AvailableBandwidth() / 1e6; bw < 4.9 || bw > 5.1 {
+		t.Errorf("available bandwidth %.2f Mbps, want 5", bw)
+	}
+}
+
+func TestTable32PathIndexes(t *testing.T) {
+	for _, idx := range []string{"a", "b", "c", "d", "e", "f"} {
+		p, err := Table32Path(idx, 1)
+		if err != nil {
+			t.Errorf("path %s: %v", idx, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("path %s has no name", idx)
+		}
+	}
+	if _, err := Table32Path("z", 1); err == nil {
+		t.Error("accepted unknown path index")
+	}
+}
+
+func TestTable32PingRegimes(t *testing.T) {
+	// Ping column of Table 3.2, within a factor of ~1.5.
+	want := map[string]time.Duration{
+		"a": 126 * time.Millisecond,
+		"b": 238 * time.Millisecond,
+		"c": 262 * time.Microsecond,
+		"e": 196 * time.Microsecond,
+		"f": 41 * time.Microsecond,
+	}
+	for idx, ping := range want {
+		p, err := Table32Path(idx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.BaseRTT()
+		if got < ping/2 || got > ping*2 {
+			t.Errorf("path %s BaseRTT = %v, Table 3.2 pings %v", idx, got, ping)
+		}
+	}
+}

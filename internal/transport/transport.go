@@ -1,0 +1,329 @@
+// Package transport implements the transmitter and receiver of §3.5,
+// the components that move the three status databases from monitor
+// machines to the wizard machine over TCP using [type, size, data]
+// frames.
+//
+// Two operating modes exist (§3.5.1):
+//
+//   - Centralized: the transmitter actively pushes snapshots to the
+//     receiver at a fixed interval, so the wizard always has fresh
+//     data and answers requests instantly. Suits small deployments.
+//
+//   - Distributed: the transmitter listens passively and sends a
+//     snapshot only when asked (a TypeRequest frame), so sparse
+//     deployments with rare requests pay no standing network load.
+//
+// The thesis ships raw structs and requires identical endianness on
+// both machines; the status package's explicit binary codec removes
+// that restriction without changing the framing.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+)
+
+// Transmitter serialises the local status database toward receivers.
+type Transmitter struct {
+	db     *store.DB
+	logger *log.Logger
+	sent   atomic.Uint64 // snapshots shipped
+}
+
+// NewTransmitter builds a transmitter over the given database.
+func NewTransmitter(db *store.DB, logger *log.Logger) (*Transmitter, error) {
+	if db == nil {
+		return nil, fmt.Errorf("transport: nil database")
+	}
+	return &Transmitter{db: db, logger: logger}, nil
+}
+
+// Sent reports how many snapshots have been shipped.
+func (t *Transmitter) Sent() uint64 { return t.sent.Load() }
+
+// snapshotFrames renders the current database as the three frames of
+// one snapshot.
+func (t *Transmitter) snapshotFrames() []status.Frame {
+	sys, net, sec := t.db.Snapshot()
+	return []status.Frame{
+		{Type: status.TypeSystem, Data: status.MarshalSystemBatch(sys)},
+		{Type: status.TypeNetwork, Data: status.MarshalNetBatch(net)},
+		{Type: status.TypeSecurity, Data: status.MarshalSecBatch(sec)},
+	}
+}
+
+// writeSnapshot sends one full snapshot over a connection.
+func (t *Transmitter) writeSnapshot(conn net.Conn) error {
+	for _, f := range t.snapshotFrames() {
+		if err := status.WriteFrame(conn, f); err != nil {
+			return err
+		}
+	}
+	t.sent.Add(1)
+	return nil
+}
+
+// RunActive implements centralized mode: push a snapshot to the
+// receiver every interval until the context is cancelled. Connection
+// failures are logged and retried on the next tick.
+func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", receiverAddr, 2*time.Second)
+			if err != nil {
+				t.logf("transmitter: dial %s: %v", receiverAddr, err)
+			} else {
+				conn = c
+			}
+		}
+		if conn != nil {
+			if err := t.writeSnapshot(conn); err != nil {
+				t.logf("transmitter: push: %v", err)
+				conn.Close()
+				conn = nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// ServePassive implements distributed mode: listen for TypeRequest
+// frames and answer each with a snapshot. It returns when the
+// context is cancelled.
+func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			for {
+				c.SetReadDeadline(time.Now().Add(30 * time.Second))
+				f, err := status.ReadFrame(c)
+				if err != nil {
+					return
+				}
+				if f.Type != status.TypeRequest {
+					t.logf("transmitter: unexpected frame %v in passive mode", f.Type)
+					return
+				}
+				if err := t.writeSnapshot(c); err != nil {
+					t.logf("transmitter: reply: %v", err)
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// Receiver mirrors transmitter snapshots into a local database for
+// the wizard (§3.5.2).
+type Receiver struct {
+	db       *store.DB
+	ln       net.Listener
+	logger   *log.Logger
+	received atomic.Uint64 // frames applied
+}
+
+// NewReceiver binds the receiver's listener; addr may use port 0.
+func NewReceiver(db *store.DB, addr string, logger *log.Logger) (*Receiver, error) {
+	if db == nil {
+		return nil, fmt.Errorf("transport: nil database")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	return &Receiver{db: db, ln: ln, logger: logger}, nil
+}
+
+// Addr reports the bound address.
+func (r *Receiver) Addr() string { return r.ln.Addr().String() }
+
+// Received reports how many frames have been applied.
+func (r *Receiver) Received() uint64 { return r.received.Load() }
+
+// Run accepts transmitter connections (centralized mode) until the
+// context is cancelled.
+func (r *Receiver) Run(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		r.ln.Close()
+	}()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			// A stopped receiver must drop its live connections too, or
+			// a transmitter keeps feeding a ghost after restart.
+			stop := context.AfterFunc(ctx, func() { c.Close() })
+			defer stop()
+			for {
+				f, err := status.ReadFrame(c)
+				if err != nil {
+					return
+				}
+				if err := r.apply(f); err != nil {
+					r.logf("receiver: %v", err)
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// apply loads one frame's batch into the corresponding database
+// section.
+func (r *Receiver) apply(f status.Frame) error {
+	switch f.Type {
+	case status.TypeSystem:
+		recs, err := status.UnmarshalSystemBatch(f.Data)
+		if err != nil {
+			return err
+		}
+		r.db.Load(recs, nil, nil)
+	case status.TypeNetwork:
+		recs, err := status.UnmarshalNetBatch(f.Data)
+		if err != nil {
+			return err
+		}
+		r.db.Load(nil, recs, nil)
+	case status.TypeSecurity:
+		recs, err := status.UnmarshalSecBatch(f.Data)
+		if err != nil {
+			return err
+		}
+		r.db.Load(nil, nil, recs)
+	default:
+		return fmt.Errorf("transport: unexpected frame type %v", f.Type)
+	}
+	r.received.Add(1)
+	return nil
+}
+
+// PullFrom implements the distributed-mode update: ask each passive
+// transmitter for a snapshot and merge all replies. The wizard calls
+// this when a user request arrives (§3.5.2). Unreachable
+// transmitters are reported but do not abort the pull.
+func (r *Receiver) PullFrom(transmitters []string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	var firstErr error
+	var merged mergedBatches
+	for _, addr := range transmitters {
+		if err := pullOne(addr, timeout, &merged); err != nil {
+			r.logf("receiver: pull %s: %v", addr, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if merged.any {
+		r.db.Load(merged.sys, merged.net, merged.sec)
+		r.received.Add(3)
+		return nil
+	}
+	if firstErr != nil {
+		return fmt.Errorf("transport: pull failed everywhere: %w", firstErr)
+	}
+	return nil
+}
+
+type mergedBatches struct {
+	any bool
+	sys []status.ServerStatus
+	net []status.NetMetric
+	sec []status.SecLevel
+}
+
+func pullOne(addr string, timeout time.Duration, m *mergedBatches) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeRequest}); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		f, err := status.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case status.TypeSystem:
+			recs, err := status.UnmarshalSystemBatch(f.Data)
+			if err != nil {
+				return err
+			}
+			m.sys = append(m.sys, recs...)
+		case status.TypeNetwork:
+			recs, err := status.UnmarshalNetBatch(f.Data)
+			if err != nil {
+				return err
+			}
+			m.net = append(m.net, recs...)
+		case status.TypeSecurity:
+			recs, err := status.UnmarshalSecBatch(f.Data)
+			if err != nil {
+				return err
+			}
+			m.sec = append(m.sec, recs...)
+		default:
+			return fmt.Errorf("transport: unexpected frame type %v in pull reply", f.Type)
+		}
+	}
+	m.any = true
+	return nil
+}
+
+func (t *Transmitter) logf(format string, args ...any) {
+	if t.logger != nil {
+		t.logger.Printf(format, args...)
+	}
+}
+
+func (r *Receiver) logf(format string, args ...any) {
+	if r.logger != nil {
+		r.logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+)
+
+func seedDB() *store.DB {
+	db := store.New()
+	db.PutSys(status.ServerStatus{Host: "helene", Load1: 0.5, Bogomips: 3394.76})
+	db.PutSys(status.ServerStatus{Host: "dione", Load1: 0.1, Bogomips: 4771.02})
+	db.PutNet(status.NetMetric{From: "m1", To: "m2", Delay: 3 * time.Millisecond, Bandwidth: 95e6})
+	db.PutSec(status.SecLevel{Host: "helene", Level: 4})
+	return db
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func assertMirrored(t *testing.T, src, dst *store.DB) {
+	t.Helper()
+	s1, n1, c1 := src.Snapshot()
+	s2, n2, c2 := dst.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("sysdb mismatch:\n src=%+v\n dst=%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(n1, n2) {
+		t.Errorf("netdb mismatch:\n src=%+v\n dst=%+v", n1, n2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("secdb mismatch:\n src=%+v\n dst=%+v", c1, c2)
+	}
+}
+
+func TestCentralizedModePushes(t *testing.T) {
+	src := seedDB()
+	dst := store.New()
+
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go recv.Run(ctx)
+
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tx.RunActive(ctx, recv.Addr(), 20*time.Millisecond)
+
+	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 2 })
+	assertMirrored(t, src, dst)
+
+	// The push keeps flowing: a new record appears at the receiver
+	// without any request.
+	src.PutSys(status.ServerStatus{Host: "sagit", Bogomips: 1730.15})
+	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 3 })
+	if tx.Sent() < 2 {
+		t.Errorf("Sent = %d, want ≥ 2", tx.Sent())
+	}
+}
+
+func TestCentralizedModeSurvivesReceiverRestart(t *testing.T) {
+	src := seedDB()
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := recv.Addr()
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go recv.Run(ctx1)
+
+	txCtx, txCancel := context.WithCancel(context.Background())
+	defer txCancel()
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tx.RunActive(txCtx, addr, 15*time.Millisecond)
+	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 2 })
+
+	// Kill the receiver, then bring a fresh one up on the same port.
+	cancel1()
+	time.Sleep(40 * time.Millisecond)
+	dst2 := store.New()
+	recv2, err := NewReceiver(dst2, addr, nil)
+	if err != nil {
+		t.Skipf("port reuse raced: %v", err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go recv2.Run(ctx2)
+	waitFor(t, 3*time.Second, func() bool { return dst2.SysLen() == 2 })
+}
+
+func TestDistributedModePull(t *testing.T) {
+	src := seedDB()
+	dst := store.New()
+
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go tx.ServePassive(ctx, ln)
+
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No standing traffic in distributed mode: nothing arrives until
+	// the wizard asks.
+	if dst.SysLen() != 0 {
+		t.Fatal("data arrived before any pull")
+	}
+	if err := recv.PullFrom([]string{ln.Addr().String()}, time.Second); err != nil {
+		t.Fatalf("PullFrom: %v", err)
+	}
+	assertMirrored(t, src, dst)
+}
+
+func TestDistributedModeMergesMultipleTransmitters(t *testing.T) {
+	// Two server groups, each with its own monitor machine and
+	// passive transmitter; the wizard-side pull merges both.
+	srcA := store.New()
+	srcA.PutSys(status.ServerStatus{Host: "group-a-1"})
+	srcB := store.New()
+	srcB.PutSys(status.ServerStatus{Host: "group-b-1"})
+	srcB.PutSys(status.ServerStatus{Host: "group-b-2"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var addrs []string
+	for _, db := range []*store.DB{srcA, srcB} {
+		tx, err := NewTransmitter(db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go tx.ServePassive(ctx, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dst.SysLen() != 3 {
+		t.Errorf("merged SysLen = %d, want 3", dst.SysLen())
+	}
+}
+
+func TestPullToleratesDeadTransmitter(t *testing.T) {
+	src := seedDB()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tx.ServePassive(ctx, ln)
+
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First address refuses connections; the live one must still land.
+	dead := "127.0.0.1:1" // reserved port, nothing listens
+	if err := recv.PullFrom([]string{dead, ln.Addr().String()}, 200*time.Millisecond); err != nil {
+		t.Fatalf("PullFrom with one dead transmitter: %v", err)
+	}
+	if dst.SysLen() != 2 {
+		t.Errorf("SysLen = %d, want 2", dst.SysLen())
+	}
+}
+
+func TestPullFailsWhenAllDead(t *testing.T) {
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.PullFrom([]string{"127.0.0.1:1"}, 100*time.Millisecond); err == nil {
+		t.Error("PullFrom succeeded with no live transmitter")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewTransmitter(nil, nil); err == nil {
+		t.Error("NewTransmitter accepted nil db")
+	}
+	if _, err := NewReceiver(nil, "127.0.0.1:0", nil); err == nil {
+		t.Error("NewReceiver accepted nil db")
+	}
+	if _, err := NewReceiver(store.New(), "256.0.0.1:bad", nil); err == nil {
+		t.Error("NewReceiver accepted a bad address")
+	}
+}
+
+func TestReceiverRejectsUnknownFrame(t *testing.T) {
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go recv.Run(ctx)
+
+	conn, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// TypeRequest is not valid receiver input in centralized mode.
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeRequest}); err != nil {
+		t.Fatal(err)
+	}
+	// A valid frame on a fresh connection still works afterwards.
+	conn2, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	f := status.Frame{Type: status.TypeSystem, Data: status.MarshalSystemBatch([]status.ServerStatus{{Host: "x"}})}
+	if err := status.WriteFrame(conn2, f); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 1 })
+}

@@ -1,0 +1,78 @@
+package wizard
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smartsock/internal/proto"
+)
+
+func TestParseTemplates(t *testing.T) {
+	src := `# site-wide requirement templates
+[cpu-intensive]
+host_cpu_bogomips > 4000
+host_cpu_free > 0.9
+
+[data-intensive]
+monitor_network_bw > 6   # Mbps
+host_disk_allreq < 50
+`
+	tpls, err := ParseTemplates(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpls) != 2 {
+		t.Fatalf("parsed %d templates, want 2", len(tpls))
+	}
+	if !strings.Contains(tpls["cpu-intensive"], "host_cpu_bogomips > 4000") {
+		t.Errorf("cpu-intensive body = %q", tpls["cpu-intensive"])
+	}
+	if !strings.Contains(tpls["data-intensive"], "monitor_network_bw > 6") {
+		t.Errorf("data-intensive body = %q", tpls["data-intensive"])
+	}
+}
+
+func TestParseTemplatesErrors(t *testing.T) {
+	cases := map[string]string{
+		"body before header":  "host_cpu_free > 0.9\n[x]\na < 1\n",
+		"empty name":          "[]\na < 1\n",
+		"empty body":          "[x]\n\n[y]\na < 1\n",
+		"broken requirement":  "[x]\nhost_cpu_free >\n",
+		"duplicate template":  "[x]\na < 1\n[x]\nb < 2\n",
+		"trailing empty body": "[x]\na < 1\n[y]\n",
+	}
+	for label, src := range cases {
+		if _, err := ParseTemplates(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestLoadTemplatesAndServe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "templates.conf")
+	err := os.WriteFile(path, []byte("[fast]\nhost_cpu_bogomips > 4000\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpls, err := LoadTemplates(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := testSelector(t)
+	w := startWizard(t, Config{Selector: sel, Templates: tpls})
+	reply := ask(t, w.Addr(), &proto.Request{
+		Seq: 1, ServerNum: 1, Option: proto.OptTemplate, Detail: "fast",
+	})
+	if reply.Err != "" {
+		t.Fatalf("template request failed: %s", reply.Err)
+	}
+	if !reflect.DeepEqual(reply.Servers, []string{"fastbox"}) {
+		t.Errorf("Servers = %v", reply.Servers)
+	}
+	if _, err := LoadTemplates(filepath.Join(t.TempDir(), "missing.conf")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Package wizard implements the user request handler of §3.6.1: a
+// UDP daemon that receives [seq, serverNum, option, detail] requests,
+// parses the requirement detail with the meta language, matches it
+// against the status databases and replies with the selected server
+// list.
+//
+// UDP is deliberate: requests are single datagrams, replies are
+// single datagrams, and under request storms a TCP wizard would
+// accumulate TIME_WAIT state until "too many files opened" (§3.6.1).
+//
+// In distributed mode the wizard triggers a pull from the passive
+// transmitters before matching, so sparse deployments only move
+// status data when someone actually asks for servers.
+package wizard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"smartsock/internal/core"
+	"smartsock/internal/proto"
+	"smartsock/internal/reqlang"
+)
+
+// UpdateFunc refreshes the wizard-side databases before a request is
+// matched; in distributed mode it wraps Receiver.PullFrom. Nil means
+// centralized mode, where the receiver refreshes continuously.
+type UpdateFunc func(ctx context.Context) error
+
+// Config parameterises a wizard.
+type Config struct {
+	// Addr is the UDP service address; port 0 picks one.
+	Addr string
+	// Selector performs the matching.
+	Selector *core.Selector
+	// Update is called before each request in distributed mode.
+	Update UpdateFunc
+	// Templates maps names to predefined requirement texts, used
+	// when a request carries OptTemplate (§3.6.1's "predefined server
+	// requirement templates").
+	Templates map[string]string
+	// Logger receives per-request errors; nil silences them.
+	Logger *log.Logger
+}
+
+// Wizard is a running request handler.
+type Wizard struct {
+	cfg      Config
+	conn     *net.UDPConn
+	handled  atomic.Uint64
+	rejected atomic.Uint64
+
+	varMu     sync.Mutex
+	varCounts map[string]uint64
+}
+
+// VarStats reports how often each server-side variable has appeared
+// in requirements so far — the popularity summary Chapter 6 proposes
+// so probes can be told to report only what applications actually ask
+// about. Combine with probe.MaskForVariables and
+// monitor.SetReportMask to close the loop.
+func (w *Wizard) VarStats() map[string]uint64 {
+	w.varMu.Lock()
+	defer w.varMu.Unlock()
+	out := make(map[string]uint64, len(w.varCounts))
+	for k, v := range w.varCounts {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *Wizard) recordVars(vars []string) {
+	w.varMu.Lock()
+	defer w.varMu.Unlock()
+	for _, v := range vars {
+		w.varCounts[v]++
+	}
+}
+
+// New binds the wizard's socket.
+func New(cfg Config) (*Wizard, error) {
+	if cfg.Selector == nil {
+		return nil, fmt.Errorf("wizard: nil selector")
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("wizard: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wizard: listen: %w", err)
+	}
+	return &Wizard{cfg: cfg, conn: conn, varCounts: make(map[string]uint64)}, nil
+}
+
+// Addr reports the bound UDP address.
+func (w *Wizard) Addr() string { return w.conn.LocalAddr().String() }
+
+// Handled reports the number of requests answered.
+func (w *Wizard) Handled() uint64 { return w.handled.Load() }
+
+// Rejected reports the number of requests answered with an error.
+func (w *Wizard) Rejected() uint64 { return w.rejected.Load() }
+
+// Run serves requests sequentially — the thesis wizard "processes the
+// user requests sequentially" — until the context is cancelled.
+func (w *Wizard) Run(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		w.conn.Close()
+	}()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := w.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("wizard: read: %w", err)
+		}
+		reply := w.handle(ctx, buf[:n])
+		if reply == nil {
+			continue // undecodable request: nothing to answer
+		}
+		out, err := proto.MarshalReply(reply)
+		if err != nil {
+			w.logf("wizard: marshal reply: %v", err)
+			continue
+		}
+		if _, err := w.conn.WriteToUDP(out, from); err != nil {
+			w.logf("wizard: send reply: %v", err)
+		}
+	}
+}
+
+// handle processes one request datagram and builds the reply.
+func (w *Wizard) handle(ctx context.Context, datagram []byte) *proto.Reply {
+	req, err := proto.UnmarshalRequest(datagram)
+	if err != nil {
+		w.logf("wizard: dropping request: %v", err)
+		return nil
+	}
+	reply := w.Answer(ctx, req)
+	w.handled.Add(1)
+	if reply.Err != "" {
+		w.rejected.Add(1)
+	}
+	return reply
+}
+
+// Answer runs the full matching pipeline for one request. It is
+// exported so in-process deployments (and tests) can bypass UDP.
+func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
+	reply := &proto.Reply{Seq: req.Seq}
+	fail := func(format string, args ...any) *proto.Reply {
+		reply.Err = sanitize(fmt.Sprintf(format, args...))
+		return reply
+	}
+
+	detail := req.Detail
+	if req.Option&proto.OptTemplate != 0 {
+		tpl, ok := w.cfg.Templates[detail]
+		if !ok {
+			return fail("unknown requirement template %q", detail)
+		}
+		detail = tpl
+	}
+	prog, err := reqlang.Parse(detail)
+	if err != nil {
+		return fail("parse requirement: %v", err)
+	}
+	w.recordVars(prog.FreeVariables())
+	if w.cfg.Update != nil {
+		// Distributed mode: refresh the databases on demand (§3.5.1).
+		if err := w.cfg.Update(ctx); err != nil {
+			w.logf("wizard: update before request: %v", err)
+			// Stale data beats no answer; continue with what we have.
+		}
+	}
+	res, err := w.cfg.Selector.Select(prog, int(req.ServerNum), req.Option)
+	if err != nil {
+		return fail("%v", err)
+	}
+	reply.Servers = res.Servers
+	return reply
+}
+
+// sanitize strips newlines so error text survives the reply format.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, ' ')
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func (w *Wizard) logf(format string, args ...any) {
+	if w.cfg.Logger != nil {
+		w.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,130 @@
+// Package workload generates server load, standing in for SuperPI —
+// the memory- and CPU-hungry π calculator the thesis runs to create
+// busy servers (Table 4.1, §5.3.1 experiment 4: "the Super_PI program
+// will occupy 150 MBytes of memory and CPU usage will vary from 0% to
+// 100%. The system load value will remain above 1").
+//
+// Two forms exist:
+//
+//   - Apply programs a synthetic status source with the load figures a
+//     SuperPI run would produce, for the simulated testbed;
+//
+//   - Burn actually consumes CPU and memory in-process, for driving a
+//     live /proc-based probe.
+package workload
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/sysinfo"
+)
+
+// Load describes a workload's footprint.
+type Load struct {
+	// MemoryBytes held by the program (SuperPI with parameter 25 takes
+	// ≈150 MB).
+	MemoryBytes uint64
+	// CPUBusy is the fraction of CPU consumed (0..1).
+	CPUBusy float64
+	// LoadAvg is the contribution to the 1-minute load average
+	// (SuperPI keeps it above 1).
+	LoadAvg float64
+}
+
+// SuperPI returns the footprint of the thesis's workload generator
+// with parameter 25.
+func SuperPI() Load {
+	return Load{
+		MemoryBytes: 150 * 1024 * 1024,
+		CPUBusy:     0.95,
+		LoadAvg:     1.2,
+	}
+}
+
+// Apply adds the load to a synthetic host's reported status and
+// returns a release function that removes it again — starting and
+// stopping SuperPI on a virtual machine. Memory is clamped so a small
+// host never reports negative free memory (it would swap instead).
+func Apply(src *sysinfo.Synthetic, l Load) (release func()) {
+	var clampedMem uint64
+	src.Update(func(s *status.ServerStatus) {
+		clampedMem = l.MemoryBytes
+		if clampedMem > s.MemFree {
+			clampedMem = s.MemFree
+		}
+		s.MemFree -= clampedMem
+		s.MemUsed += clampedMem
+		s.Load1 += l.LoadAvg
+		s.Load5 += l.LoadAvg * 0.8
+		s.Load15 += l.LoadAvg * 0.5
+		busy := l.CPUBusy
+		if busy > s.CPUIdle {
+			busy = s.CPUIdle
+		}
+		s.CPUIdle -= busy
+		s.CPUUser += busy
+	})
+	var released bool
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		src.Update(func(s *status.ServerStatus) {
+			s.MemFree += clampedMem
+			s.MemUsed -= clampedMem
+			s.Load1 -= l.LoadAvg
+			s.Load5 -= l.LoadAvg * 0.8
+			s.Load15 -= l.LoadAvg * 0.5
+			busy := l.CPUBusy
+			if s.CPUUser < busy {
+				busy = s.CPUUser
+			}
+			s.CPUUser -= busy
+			s.CPUIdle += busy
+		})
+	}
+}
+
+// Burn holds memoryBytes of heap and spins the CPU at roughly
+// cpuBusy duty cycle until the context is cancelled — a real SuperPI
+// stand-in for live-probe demonstrations. It returns after the
+// context ends.
+func Burn(ctx context.Context, memoryBytes int, cpuBusy float64) {
+	if cpuBusy <= 0 {
+		cpuBusy = 0.5
+	}
+	if cpuBusy > 1 {
+		cpuBusy = 1
+	}
+	var hold []byte
+	if memoryBytes > 0 {
+		hold = make([]byte, memoryBytes)
+		// Touch every page so the memory is really resident.
+		for i := 0; i < len(hold); i += 4096 {
+			hold[i] = byte(i)
+		}
+	}
+	period := 20 * time.Millisecond
+	busy := time.Duration(float64(period) * cpuBusy)
+	x := 1.000001
+	for ctx.Err() == nil {
+		start := time.Now()
+		for time.Since(start) < busy {
+			// π by Machin-like churn: keep the FPU warm, like SuperPI.
+			x = math.Sqrt(x*x + 1e-9)
+		}
+		if idle := period - busy; idle > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(idle):
+			}
+		}
+	}
+	runtime.KeepAlive(hold)
+	_ = x
+}

@@ -1,0 +1,207 @@
+package smartsock_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartsock"
+	"smartsock/internal/testbed"
+)
+
+// countingEchoService echoes lines and counts accepted connections.
+func countingEchoService(t *testing.T) (net.Listener, *atomic.Int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var accepted atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "echo: %s\n", sc.Text())
+				}
+			}(conn)
+		}
+	}()
+	return ln, &accepted
+}
+
+func dialReliable(t *testing.T, ln net.Listener) *smartsock.ReliableConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := smartsock.NewReliableConn(conn, ln.Addr().String(), time.Second)
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func roundTrip(t *testing.T, r *smartsock.ReliableConn, msg string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(r, "%s\n", msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r.SetDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(r).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return line
+}
+
+func TestReliableConnBasicIO(t *testing.T) {
+	ln, _ := countingEchoService(t)
+	r := dialReliable(t, ln)
+	if got := roundTrip(t, r, "hi"); got != "echo: hi\n" {
+		t.Errorf("round trip = %q", got)
+	}
+	if r.Addr() != ln.Addr().String() {
+		t.Errorf("Addr = %q", r.Addr())
+	}
+}
+
+func TestReliableConnSuspendResume(t *testing.T) {
+	ln, accepted := countingEchoService(t)
+	r := dialReliable(t, ln)
+	roundTrip(t, r, "before")
+
+	if err := r.Suspend(); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if !r.Suspended() {
+		t.Error("not marked suspended")
+	}
+	if err := r.Suspend(); err != nil {
+		t.Errorf("second Suspend: %v", err)
+	}
+	if err := r.Resume(context.Background()); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if r.Suspended() {
+		t.Error("still marked suspended after Resume")
+	}
+	if got := roundTrip(t, r, "after"); got != "echo: after\n" {
+		t.Errorf("post-resume round trip = %q", got)
+	}
+	if accepted.Load() != 2 {
+		t.Errorf("server saw %d connections, want 2", accepted.Load())
+	}
+	if r.Redials() != 1 {
+		t.Errorf("Redials = %d", r.Redials())
+	}
+}
+
+func TestReliableConnWriteRedialsTransparently(t *testing.T) {
+	ln, accepted := countingEchoService(t)
+	r := dialReliable(t, ln)
+	roundTrip(t, r, "warm")
+
+	// Break the socket behind ReliableConn's back (simulates a server
+	// or network failure between requests).
+	r.Suspend()
+	// A write must transparently reconnect instead of failing.
+	if _, err := fmt.Fprintf(r, "recovered\n"); err != nil {
+		t.Fatalf("write after break: %v", err)
+	}
+	r.SetDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(r).ReadString('\n')
+	if err != nil || line != "echo: recovered\n" {
+		t.Errorf("line = %q, err %v", line, err)
+	}
+	if accepted.Load() != 2 {
+		t.Errorf("server saw %d connections", accepted.Load())
+	}
+}
+
+func TestReliableConnResumeFailsCleanly(t *testing.T) {
+	ln, _ := countingEchoService(t)
+	r := dialReliable(t, ln)
+	ln.Close() // the server is gone for good
+	r.Suspend()
+	if err := r.Resume(context.Background()); err == nil {
+		t.Error("Resume to a dead server succeeded")
+	}
+	if _, err := r.Write([]byte("x")); err == nil {
+		t.Error("Write to a dead server succeeded")
+	}
+}
+
+func TestReliableConnCloseIsFinal(t *testing.T) {
+	ln, _ := countingEchoService(t)
+	r := dialReliable(t, ln)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := r.SetDeadline(time.Now()); err == nil {
+		t.Error("SetDeadline on a closed conn succeeded")
+	}
+}
+
+func TestSocketSetReliable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cluster, _ := bootServiceCluster(t, ctx, []testbed.Machine{
+		{Bogomips: 4000, RAMMB: 256, Speed: 1},
+	})
+	client, err := smartsock.NewClient(cluster.WizardAddr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := client.Connect(ctx, "1 > 0", 1, smartsock.OptPartialOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	r, err := set.Reliable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := roundTrip(t, r, "via set"); got != "echo: via set\n" {
+		t.Errorf("round trip = %q", got)
+	}
+	if err := r.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resume(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Reliable(9); err == nil {
+		t.Error("Reliable accepted an out-of-range index")
+	}
+}
+
+func TestReliableConnNoReconnectAfterClose(t *testing.T) {
+	ln, accepted := countingEchoService(t)
+	r := dialReliable(t, ln)
+	roundTrip(t, r, "once")
+	r.Close()
+	if _, err := r.Write([]byte("zombie\n")); err == nil {
+		t.Error("Write after Close reconnected")
+	}
+	if err := r.Resume(context.Background()); err == nil {
+		t.Error("Resume after Close reconnected")
+	}
+	if accepted.Load() != 1 {
+		t.Errorf("server saw %d connections after Close, want 1", accepted.Load())
+	}
+}

@@ -1,0 +1,340 @@
+// Package smartsock is the client library of the Smart TCP socket
+// system (§3.6.2): the public API applications use to turn a server
+// requirement — written in the meta language of §4.3 — into a set of
+// connected TCP sockets, selected by the wizard according to live
+// server status.
+//
+// A minimal use looks like:
+//
+//	c, err := smartsock.NewClient("wizard.lab:1120", nil)
+//	...
+//	set, err := c.Connect(ctx, `
+//	    host_cpu_free >= 0.9
+//	    host_memory_free > 100
+//	`, 3)
+//	...
+//	defer set.Close()
+//	for _, conn := range set.Conns() { ... }
+//
+// The library sends the requirement to the wizard over UDP with a
+// random sequence number, matches the reply against it, retries lost
+// datagrams, and dials the returned servers. Requirements may also be
+// loaded from files with LoadRequirement, and validated locally with
+// CheckRequirement before any network traffic happens.
+package smartsock
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+
+	"time"
+
+	"smartsock/internal/proto"
+	"smartsock/internal/reqlang"
+)
+
+// Option bits modify wizard behaviour.
+type Option = proto.Option
+
+// Option values. See the proto package for semantics.
+const (
+	// OptPartialOK accepts fewer servers than requested when the pool
+	// cannot satisfy the full count.
+	OptPartialOK = proto.OptPartialOK
+	// OptRankByExpr ranks qualified servers by the requirement's last
+	// non-logical expression, highest first (the Chapter 6 "3 servers
+	// with largest memory" extension).
+	OptRankByExpr = proto.OptRankByExpr
+	// OptTemplate treats the requirement text as the name of a
+	// template predefined on the wizard.
+	OptTemplate = proto.OptTemplate
+)
+
+// MaxServers is the most servers one request can return (§3.6.1).
+const MaxServers = proto.MaxServers
+
+// ClientConfig tunes a Client. The zero value is usable.
+type ClientConfig struct {
+	// Timeout bounds one request/reply exchange. Default 2 s.
+	Timeout time.Duration
+	// Retries resends a request whose reply was lost. Default 2.
+	Retries int
+	// DialTimeout bounds each server connection attempt. Default 5 s.
+	DialTimeout time.Duration
+}
+
+// Client talks to one wizard.
+type Client struct {
+	wizard string
+	cfg    ClientConfig
+}
+
+// NewClient creates a client for the wizard at addr (host:port). A
+// nil config selects defaults.
+func NewClient(addr string, cfg *ClientConfig) (*Client, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("smartsock: empty wizard address")
+	}
+	c := &Client{wizard: addr}
+	if cfg != nil {
+		c.cfg = *cfg
+	}
+	if c.cfg.Timeout <= 0 {
+		c.cfg.Timeout = 2 * time.Second
+	}
+	if c.cfg.Retries < 0 {
+		c.cfg.Retries = 0
+	} else if c.cfg.Retries == 0 {
+		c.cfg.Retries = 2
+	}
+	if c.cfg.DialTimeout <= 0 {
+		c.cfg.DialTimeout = 5 * time.Second
+	}
+	return c, nil
+}
+
+// CheckRequirement parses a requirement without contacting the
+// wizard, returning syntax errors with line positions. Use it to
+// validate user-edited requirement files early.
+func CheckRequirement(text string) error {
+	_, err := reqlang.Parse(text)
+	return err
+}
+
+// LoadRequirement reads a requirement file (the format of §3.6.2)
+// and validates its syntax.
+func LoadRequirement(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("smartsock: %w", err)
+	}
+	text := string(data)
+	if err := CheckRequirement(text); err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+// RequestServers asks the wizard for n servers matching the
+// requirement and returns their addresses, best first. It does not
+// connect to them; see Connect.
+func (c *Client) RequestServers(ctx context.Context, requirement string, n int, opts ...Option) ([]string, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("smartsock: requested %d servers", n)
+	}
+	if n > MaxServers {
+		return nil, fmt.Errorf("smartsock: %d exceeds the per-request limit of %d servers", n, MaxServers)
+	}
+	var opt Option
+	for _, o := range opts {
+		opt |= o
+	}
+	req := &proto.Request{
+		Seq:       randomSeq(),
+		ServerNum: uint16(n),
+		Option:    opt,
+		Detail:    requirement,
+	}
+	reply, err := c.exchange(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("smartsock: wizard: %s", reply.Err)
+	}
+	return reply.Servers, nil
+}
+
+// exchange performs the UDP request/reply with sequence matching and
+// retries (§3.6.2 steps 2–3).
+func (c *Client) exchange(ctx context.Context, req *proto.Request) (*proto.Reply, error) {
+	conn, err := net.Dial("udp", c.wizard)
+	if err != nil {
+		return nil, fmt.Errorf("smartsock: dial wizard: %w", err)
+	}
+	defer conn.Close()
+	msg := proto.MarshalRequest(req)
+	buf := make([]byte, 64*1024)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := conn.Write(msg); err != nil {
+			return nil, fmt.Errorf("smartsock: send request: %w", err)
+		}
+		deadline := time.Now().Add(c.cfg.Timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		for {
+			conn.SetReadDeadline(deadline)
+			n, err := conn.Read(buf)
+			if err != nil {
+				lastErr = fmt.Errorf("smartsock: wizard did not answer: %w", err)
+				break // resend
+			}
+			reply, err := proto.UnmarshalReply(buf[:n])
+			if err != nil {
+				lastErr = err
+				continue // garbage datagram; keep listening
+			}
+			if reply.Seq != req.Seq {
+				continue // reply to a different request (§3.6.2 step 3)
+			}
+			return reply, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// SocketSet is the bundle of connected sockets Connect returns — the
+// "list of sockets that will participate in a single computation
+// task" of Fig 1.2.
+type SocketSet struct {
+	conns []net.Conn
+	addrs []string
+	dial  func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Conns returns the live connections, in selection order.
+func (s *SocketSet) Conns() []net.Conn { return s.conns }
+
+// Addrs returns the server addresses, parallel to Conns.
+func (s *SocketSet) Addrs() []string { return s.addrs }
+
+// Len reports the number of sockets in the set.
+func (s *SocketSet) Len() int { return len(s.conns) }
+
+// Close closes every socket in the set, returning the first error.
+func (s *SocketSet) Close() error {
+	var first error
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Redial replaces the i-th socket with a fresh connection to the same
+// server — the rsocks-style suspend/resume hook of Chapter 6. The old
+// socket is closed; the caller re-issues whatever work was in flight.
+func (s *SocketSet) Redial(ctx context.Context, i int) error {
+	if i < 0 || i >= len(s.conns) {
+		return fmt.Errorf("smartsock: no socket %d in set of %d", i, len(s.conns))
+	}
+	s.conns[i].Close()
+	conn, err := s.dial(ctx, s.addrs[i])
+	if err != nil {
+		return fmt.Errorf("smartsock: redial %s: %w", s.addrs[i], err)
+	}
+	s.conns[i] = conn
+	return nil
+}
+
+// Connect asks the wizard for n servers and returns a SocketSet with
+// a TCP connection to each (§3.6.2 step 4). Servers that fail to
+// accept are skipped; unless OptPartialOK is set, any shortfall after
+// dialing is an error and already-opened sockets are closed.
+func (c *Client) Connect(ctx context.Context, requirement string, n int, opts ...Option) (*SocketSet, error) {
+	var opt Option
+	for _, o := range opts {
+		opt |= o
+	}
+	// Over-ask slightly so a dial failure can be absorbed when the
+	// pool has spares.
+	ask := n + 2
+	if ask > MaxServers {
+		ask = MaxServers
+	}
+	if ask < n {
+		ask = n
+	}
+	addrs, err := c.RequestServers(ctx, requirement, ask, opt|OptPartialOK)
+	if err != nil {
+		return nil, err
+	}
+	set := &SocketSet{dial: c.dialServer}
+	for _, addr := range addrs {
+		if set.Len() == n {
+			break
+		}
+		conn, err := c.dialServer(ctx, addr)
+		if err != nil {
+			continue // try the next candidate
+		}
+		set.conns = append(set.conns, conn)
+		set.addrs = append(set.addrs, addr)
+	}
+	if set.Len() < n && opt&OptPartialOK == 0 {
+		set.Close()
+		return nil, fmt.Errorf("smartsock: connected to %d of %d requested servers", set.Len(), n)
+	}
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("smartsock: no server could be contacted")
+	}
+	return set, nil
+}
+
+func (c *Client) dialServer(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// randomSeq draws the request sequence number from crypto/rand so
+// concurrent clients on one machine cannot collide (§3.6.1).
+func randomSeq() uint32 {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to time-based; collisions remain unlikely.
+		return uint32(time.Now().UnixNano())
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// ServerVariables lists the server-side requirement variables this
+// deployment understands, for documentation and tooling.
+func ServerVariables() []string {
+	return []string{
+		"host_system_load1", "host_system_load5", "host_system_load15",
+		"host_cpu_user", "host_cpu_nice", "host_cpu_system", "host_cpu_idle",
+		"host_cpu_free", "host_cpu_bogomips",
+		"host_memory_total", "host_memory_used", "host_memory_free",
+		"host_memory_total_bytes", "host_memory_used_bytes", "host_memory_free_bytes",
+		"host_disk_allreq", "host_disk_rreq", "host_disk_rblocks",
+		"host_disk_wreq", "host_disk_wblocks",
+		"host_network_rbytesps", "host_network_rpacketsps",
+		"host_network_tbytesps", "host_network_tpacketsps",
+		"monitor_network_delay", "monitor_network_bw",
+		"host_security_level",
+	}
+}
+
+// UserVariables lists the user-side variables (Appendix B.2).
+func UserVariables() []string {
+	out := make([]string, 0, 10)
+	for i := 1; i <= 5; i++ {
+		out = append(out, fmt.Sprintf("user_denied_host%d", i))
+	}
+	for i := 1; i <= 5; i++ {
+		out = append(out, fmt.Sprintf("user_preferred_host%d", i))
+	}
+	return out
+}
+
+// Functions lists the built-in math functions (Appendix B.4).
+func Functions() []string {
+	fns := reqlang.Builtins()
+	// Sorted for stable docs.
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && fns[j] < fns[j-1]; j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+	return fns
+}
