@@ -1,0 +1,63 @@
+// Command smartlint runs the project's static-analysis suite (see
+// internal/lint) over the given package patterns and exits non-zero
+// on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/smartlint ./...
+//	go run ./cmd/smartlint -list
+//	go run ./cmd/smartlint -only mutexheld,deadline ./internal/...
+//
+// Findings print as `file:line: [analyzer] message`. Suppress one
+// with a `//lint:ignore <analyzer> <reason>` comment on the same line
+// or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smartsock/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := lint.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "smartlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smartlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "smartlint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -45,7 +45,8 @@ func (e *EchoServer) Addr() string { return e.conn.LocalAddr().String() }
 func (e *EchoServer) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
-		e.conn.Close()
+		// The read loop below surfaces the close as net.ErrClosed.
+		_ = e.conn.Close()
 	}()
 	buf := make([]byte, 64*1024)
 	for {
@@ -116,7 +117,9 @@ func (u *UDPProber) ProbeRTT(payload int) time.Duration {
 	}
 	deadline := start.Add(u.timeout)
 	for {
-		u.conn.SetReadDeadline(deadline)
+		if err := u.conn.SetReadDeadline(deadline); err != nil {
+			return time.Duration(1<<62 - 1) // dead socket: treated as loss
+		}
 		n, err := u.conn.Read(u.buf)
 		if err != nil {
 			return time.Duration(1<<62 - 1) // timeout: treated as loss

@@ -14,7 +14,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
+
+// sleep is the package's injected pause, shared by the experiment
+// files for settle waits. Tests may swap it; keeping it a variable
+// (initialised to time.Sleep as a value, never called raw) is the
+// project's sleepfree idiom.
+var sleep = time.Sleep
 
 // Table is one regenerated table or figure, rendered as rows.
 type Table struct {
@@ -86,14 +93,36 @@ type Options struct {
 type Fn func(Options) (*Table, error)
 
 // registry maps experiment IDs to implementations. Populated by the
-// per-chapter files' init functions.
+// per-chapter files' init functions. A duplicate registration is a
+// programming error, but one that must not crash an embedding
+// process: register keeps the first implementation, records the
+// conflict, and Run refuses the ambiguous ID with an error.
 var registry = map[string]Fn{}
+
+// duplicates counts extra registrations per conflicting ID.
+var duplicates = map[string]int{}
 
 func register(id string, fn Fn) {
 	if _, dup := registry[id]; dup {
-		panic("experiments: duplicate id " + id)
+		duplicates[id]++
+		return
 	}
 	registry[id] = fn
+}
+
+// RegistryErr reports registration conflicts, nil if the registry is
+// sound. Embedders that want to fail fast can check it at startup
+// instead of discovering a conflict on the first ambiguous Run.
+func RegistryErr() error {
+	if len(duplicates) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(duplicates))
+	for id := range duplicates {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return fmt.Errorf("experiments: duplicate registrations for %v", ids)
 }
 
 // IDs lists all registered experiments in order.
@@ -108,6 +137,9 @@ func IDs() []string {
 
 // Run executes one experiment by ID.
 func Run(id string, opts Options) (*Table, error) {
+	if n := duplicates[id]; n > 0 {
+		return nil, fmt.Errorf("experiments: id %q was registered %d times; refusing the ambiguous registry", id, n+1)
+	}
 	fn, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())

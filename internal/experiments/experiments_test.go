@@ -281,3 +281,28 @@ func TestTable59SmartHighestThroughput(t *testing.T) {
 		}
 	}
 }
+
+func TestDuplicateRegistration(t *testing.T) {
+	const id = "test.duplicate"
+	t.Cleanup(func() {
+		delete(registry, id)
+		delete(duplicates, id)
+	})
+	stub := func(Options) (*Table, error) { return &Table{}, nil }
+	register(id, stub)
+	if err := RegistryErr(); err != nil {
+		t.Fatalf("single registration reported as conflict: %v", err)
+	}
+	register(id, stub)
+	register(id, stub)
+	if err := RegistryErr(); err == nil {
+		t.Fatal("RegistryErr did not report the duplicate registration")
+	} else if !strings.Contains(err.Error(), id) {
+		t.Fatalf("RegistryErr does not name the conflicting id: %v", err)
+	}
+	if _, err := Run(id, Options{Quick: true}); err == nil {
+		t.Fatal("Run accepted an ambiguously registered id")
+	} else if !strings.Contains(err.Error(), "3 times") {
+		t.Fatalf("Run error does not count the registrations: %v", err)
+	}
+}

@@ -48,7 +48,7 @@ func startFileServer(ctx context.Context, mbpsPaper float64) (string, *shaper.Li
 	}
 	shaped, err := shaper.NewListener(raw, mbpsPaper*bwScale)
 	if err != nil {
-		raw.Close()
+		_ = raw.Close()
 		return "", nil, err
 	}
 	srv := &massd.Server{}
@@ -91,7 +91,7 @@ func fig53(o Options) (*Table, error) {
 			return nil, err
 		}
 		stats, err := massd.Download(ctx, []net.Conn{conn}, total, total/16)
-		conn.Close()
+		_ = conn.Close()
 		if err != nil {
 			return nil, fmt.Errorf("fig5.3 run %d: %w", i, err)
 		}
@@ -219,7 +219,7 @@ func massdComparison(o Options, c massdCase) (*Table, error) {
 		var conns []net.Conn
 		defer func() {
 			for _, cn := range conns {
-				cn.Close()
+				_ = cn.Close()
 			}
 		}()
 		for _, name := range names {

@@ -93,7 +93,7 @@ func runMatrix(ctx context.Context, names []string, addrs map[string]string, n, 
 	var conns []net.Conn
 	defer func() {
 		for _, c := range conns {
-			c.Close()
+			_ = c.Close()
 		}
 	}()
 	for _, name := range names {
@@ -271,7 +271,7 @@ func matrixComparison(o Options, c matrixCase) (*Table, error) {
 	}
 	// One extra probe interval so post-workload reports are the ones
 	// in the database.
-	time.Sleep(100 * time.Millisecond)
+	sleep(100 * time.Millisecond)
 
 	busy := make(map[string]bool, len(c.busyHosts))
 	for _, h := range c.busyHosts {

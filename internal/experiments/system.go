@@ -76,7 +76,7 @@ func table52(o Options) (*Table, error) {
 	if err := cluster.WaitSettled(ctx, len(cluster.Machines)); err != nil {
 		return nil, err
 	}
-	time.Sleep(settle)
+	sleep(settle)
 
 	// Measure the real report size of a live host.
 	rec, ok := cluster.WizardDB.GetSys("sagit")

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ErrDrop flags statements in library code that silently discard the
+// error of a cleanup or deadline call on a network type:
+// Close/SetDeadline/SetReadDeadline/SetWriteDeadline on anything from
+// package net, and Flush on a bufio writer (the buffered side of a
+// conn — an unflushed frame is a hung peer). Two idioms stay legal:
+// `defer c.Close()` (cleanup on all return paths, nothing useful to
+// do with the error) and the explicit `_ = c.Close()` (the author
+// decided the error is uninteresting and said so).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no silently dropped Close/SetDeadline/Flush error on network types",
+	Run:  runErrDrop,
+}
+
+var errDropMethods = map[string]map[string]bool{
+	"net": {
+		"Close": true, "SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	},
+	"bufio": {
+		"Flush": true,
+	},
+}
+
+func runErrDrop(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, isMethod := receiverExpr(call); !isMethod {
+				return true
+			}
+			for pkgPath, methods := range errDropMethods {
+				if name, ok := calleeFrom(pass.Pkg.Info, call, pkgPath); ok && methods[name] {
+					pass.Reportf(call.Pos(), "%s error discarded; handle it, or write `_ = x.%s()` to drop it on purpose", name, name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go command, parses and
+// type-checks every matched package plus its dependencies (in
+// dependency order, so imports are always satisfied from the cache),
+// and returns the matched module-local packages ready for analysis.
+// Dependencies outside the module are checked signatures-only; only
+// packages inside the module get full bodies and type information.
+//
+// The loader shells out to `go list` — the toolchain that builds the
+// code also enumerates it — but all parsing and type checking is the
+// standard library's own go/parser and go/types.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	cache := map[string]*types.Package{"unsafe": types.Unsafe}
+	fallback := importer.ForCompiler(fset, "source", nil)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" || cache[lp.ImportPath] != nil {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		ours := !lp.Standard && lp.Module != nil
+		files, err := parseDir(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", lp.ImportPath, err)
+		}
+		var info *types.Info
+		if ours {
+			info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			}
+		}
+		var hardErrs []error
+		conf := types.Config{
+			IgnoreFuncBodies: !ours,
+			FakeImportC:      true,
+			Error: func(err error) {
+				if ours {
+					hardErrs = append(hardErrs, err)
+				}
+				// Dependency packages tolerate errors: a partially
+				// checked stdlib package still exports the names the
+				// module needs.
+			},
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				if tp := cache[path]; tp != nil {
+					return tp, nil
+				}
+				// Not in the go list closure (shouldn't happen); fall
+				// back to the source importer rather than failing.
+				return fallback.Import(path)
+			}),
+		}
+		tp, err := conf.Check(lp.ImportPath, fset, files, info)
+		if tp != nil {
+			cache[lp.ImportPath] = tp
+		}
+		if ours {
+			if len(hardErrs) > 0 {
+				return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, errors.Join(hardErrs...))
+			}
+			if err != nil {
+				return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+			}
+			out = append(out, &Package{
+				Path:  lp.ImportPath,
+				Name:  lp.Name,
+				Fset:  fset,
+				Files: files,
+				Types: tp,
+				Info:  info,
+			})
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -json` over the patterns and decodes the
+// package stream, which arrives in dependency order.
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Standard,Module,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	// Force the pure-Go build so stdlib packages arrive without cgo
+	// files, which go/types cannot check.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var out []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic flags panic calls in non-test, non-main library code. A
+// library panic crashes whatever process embeds the package; invalid
+// input and invariant violations must surface as errors the caller
+// can handle.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "no panic in library code; return an error",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.Pkg.Info.Uses[ident].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(), "panic in library code; return an error instead")
+			}
+			return true
+		})
+	}
+}

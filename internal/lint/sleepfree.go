@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SleepFree flags direct time.Sleep calls in internal/* non-test
+// code. A raw sleep cannot be faked in tests and cannot be cancelled;
+// packages that must pace themselves take an injected sleep func (the
+// shaper package's `sleep: time.Sleep` field is the approved pattern
+// — referencing time.Sleep as a default value is fine, calling it is
+// not) or wait on a timer select that also watches a context.
+var SleepFree = &Analyzer{
+	Name: "sleepfree",
+	Doc:  "no raw time.Sleep in internal packages; inject the sleep func",
+	Run:  runSleepFree,
+}
+
+func runSleepFree(pass *Pass) {
+	if !pass.Pkg.Internal() {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := calleeFrom(pass.Pkg.Info, call, "time"); ok && name == "Sleep" {
+				pass.Reportf(call.Pos(), "raw time.Sleep; use the package's injected sleep func or a context-aware timer")
+			}
+			return true
+		})
+	}
+}

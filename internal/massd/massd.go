@@ -38,7 +38,8 @@ func (s *Server) Served() int64 { return s.served.Load() }
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		<-ctx.Done()
-		ln.Close()
+		// Accept below surfaces the close as net.ErrClosed.
+		_ = ln.Close()
 	}()
 	for {
 		conn, err := ln.Accept()
@@ -54,7 +55,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	defer stop()
 	hdr := make([]byte, 8)
 	buf := make([]byte, 64*1024)

@@ -48,8 +48,21 @@ type Worker struct {
 	// competing processes (SuperPI halves the CPU share a worker
 	// gets). Nil means no competing load.
 	LoadFactor func() float64
+	// Sleep pauses the worker while it models compute time; nil means
+	// time.Sleep. Injected so tests can run the timing model in
+	// virtual time.
+	Sleep func(time.Duration)
 	// Name for diagnostics.
 	Name string
+}
+
+// pause stretches wall time through the injected sleep.
+func (w *Worker) pause(d time.Duration) {
+	sleep := w.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
 }
 
 // Serve accepts masters on ln until the context is cancelled. Each
@@ -58,7 +71,8 @@ type Worker struct {
 func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		<-ctx.Done()
-		ln.Close()
+		// Accept below surfaces the close as net.ErrClosed.
+		_ = ln.Close()
 	}()
 	for {
 		conn, err := ln.Accept()
@@ -74,7 +88,7 @@ func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
 
 func (w *Worker) serveConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	defer stop()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -112,10 +126,10 @@ func (w *Worker) compute(t *task) *result {
 		ops := float64(t.A.Rows) * float64(t.A.Cols) * float64(t.B.Cols)
 		modeled := time.Duration(ops / 1e6 * float64(w.OpCost) / speed)
 		if extra := modeled - elapsed; extra > 0 {
-			time.Sleep(extra)
+			w.pause(extra)
 		}
 	} else if speed < 1 {
-		time.Sleep(time.Duration(float64(elapsed) * (1/speed - 1)))
+		w.pause(time.Duration(float64(elapsed) * (1/speed - 1)))
 	}
 	return &result{Block: t.Block, C: *c}
 }

@@ -274,7 +274,9 @@ func TestSlowWorkerStretchesTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w := &Worker{SpeedFactor: speed, OpCost: 10 * time.Millisecond}
+		// OpCost is large enough that the modeled time dominates the
+		// real multiply and protocol overhead even under -race.
+		w := &Worker{SpeedFactor: speed, OpCost: 100 * time.Millisecond}
 		go w.Serve(ctx, ln)
 		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
@@ -287,8 +289,8 @@ func TestSlowWorkerStretchesTime(t *testing.T) {
 		}
 		return time.Since(start)
 	}
-	fast := run(1.0) // modeled: 1e6 ops → ≈10 ms
-	slow := run(0.2) // modeled: ≈50 ms
+	fast := run(1.0) // modeled: 1e6 ops → ≈100 ms
+	slow := run(0.2) // modeled: ≈500 ms
 	if slow < fast*2 {
 		t.Errorf("speed 0.2 took %v, speed 1.0 took %v; want ≥2× stretch", slow, fast)
 	}

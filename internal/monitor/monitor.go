@@ -100,7 +100,9 @@ func New(cfg Config) (*Monitor, error) {
 			m.tcp = tcp
 			return m, nil
 		}
-		udp.Close()
+		// The UDP side is abandoned for a fresh port pick; the listen
+		// error is the one worth keeping.
+		_ = udp.Close()
 		lastErr = err
 	}
 	return nil, fmt.Errorf("monitor: listen tcp: %w", lastErr)
@@ -124,9 +126,10 @@ func (m *Monitor) Run(ctx context.Context) error {
 		case <-ctx.Done():
 		case <-done:
 		}
-		m.udp.Close()
+		// The serve loops surface these closes as net.ErrClosed.
+		_ = m.udp.Close()
 		if m.tcp != nil {
-			m.tcp.Close()
+			_ = m.tcp.Close()
 		}
 	}()
 
@@ -178,7 +181,9 @@ func (m *Monitor) serveTCP() {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
-			c.SetReadDeadline(time.Now().Add(5 * time.Second))
+			if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+				return
+			}
 			for {
 				f, err := status.ReadFrame(c)
 				if err != nil {

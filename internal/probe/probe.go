@@ -181,7 +181,8 @@ func (p *Probe) send(msg []byte) error {
 			// A broken socket is replaced on the next report.
 			p.connMu.Lock()
 			if p.conn == conn {
-				p.conn.Close()
+				// Already failing; the close error adds nothing.
+				_ = p.conn.Close()
 				p.conn = nil
 			}
 			p.connMu.Unlock()
@@ -194,19 +195,36 @@ func (p *Probe) send(msg []byte) error {
 // udpConn lazily opens the probe's persistent report socket and
 // starts the control listener on it. Keeping one socket per probe
 // lets the monitor's selected-parameters replies (Ch. 6) arrive
-// asynchronously, without delaying reports.
+// asynchronously, without delaying reports. The dial happens outside
+// the mutex — a slow resolver must not block Close — with a re-check
+// after reacquiring it; a racing dial loses and closes its socket.
 func (p *Probe) udpConn() (net.Conn, error) {
 	p.connMu.Lock()
-	defer p.connMu.Unlock()
 	if p.closed {
+		p.connMu.Unlock()
 		return nil, fmt.Errorf("probe is closed")
 	}
 	if p.conn != nil {
-		return p.conn, nil
+		conn := p.conn
+		p.connMu.Unlock()
+		return conn, nil
 	}
+	p.connMu.Unlock()
+
 	conn, err := net.Dial("udp", p.cfg.Monitor)
 	if err != nil {
 		return nil, err
+	}
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if p.closed {
+		_ = conn.Close()
+		return nil, fmt.Errorf("probe is closed")
+	}
+	if p.conn != nil {
+		// Another report dialed first; keep the established socket.
+		_ = conn.Close()
+		return p.conn, nil
 	}
 	p.conn = conn
 	go p.controlLoop(conn)
@@ -218,6 +236,9 @@ func (p *Probe) udpConn() (net.Conn, error) {
 func (p *Probe) controlLoop(conn net.Conn) {
 	buf := make([]byte, 256)
 	for {
+		// Control replies may arrive at any time over the socket's whole
+		// life; Probe.Close ends the loop by closing the socket.
+		//lint:ignore deadline socket lifetime is owned by Probe.Close, a read deadline would drop control replies
 		n, err := conn.Read(buf)
 		if err != nil {
 			return

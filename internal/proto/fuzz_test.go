@@ -1,0 +1,69 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary datagrams to UnmarshalRequest and
+// checks that anything it accepts survives a marshal/unmarshal round
+// trip unchanged.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{msgRequest})
+	f.Add(MarshalRequest(&Request{Seq: 1, ServerNum: 3, Detail: "host_cpu_free >= 0.9"}))
+	f.Add(MarshalRequest(&Request{Seq: 0xffffffff, ServerNum: 60, Option: OptPartialOK | OptTemplate, Detail: ""}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := UnmarshalRequest(data)
+		if err != nil {
+			return
+		}
+		out := MarshalRequest(req)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("request does not round-trip:\n in: %x\nout: %x", data, out)
+		}
+		again, err := UnmarshalRequest(out)
+		if err != nil {
+			t.Fatalf("re-decode of marshalled request failed: %v", err)
+		}
+		if *again != *req {
+			t.Fatalf("request changed across round trip: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeReply checks that UnmarshalReply never panics and that any
+// reply it accepts can be re-marshalled and decoded back to the same
+// value.
+func FuzzDecodeReply(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{msgReply})
+	if b, err := MarshalReply(&Reply{Seq: 7, Servers: []string{"a:1", "b:2"}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := MarshalReply(&Reply{Seq: 9, Err: "no qualified server"}); err == nil {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reply, err := UnmarshalReply(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalReply(reply)
+		if err != nil {
+			t.Fatalf("decoded reply %+v cannot be re-marshalled: %v", reply, err)
+		}
+		again, err := UnmarshalReply(out)
+		if err != nil {
+			t.Fatalf("re-decode of marshalled reply failed: %v", err)
+		}
+		if again.Seq != reply.Seq || again.Err != reply.Err || len(again.Servers) != len(reply.Servers) {
+			t.Fatalf("reply changed across round trip: %+v vs %+v", reply, again)
+		}
+		for i := range reply.Servers {
+			if again.Servers[i] != reply.Servers[i] {
+				t.Fatalf("server %d changed across round trip: %q vs %q", i, reply.Servers[i], again.Servers[i])
+			}
+		}
+	})
+}

@@ -122,12 +122,18 @@ func UnmarshalReply(b []byte) (*Reply, error) {
 	}
 	r := &Reply{Seq: binary.BigEndian.Uint32(b[1:])}
 	n := int(binary.BigEndian.Uint16(b[5:]))
+	if n > MaxServers {
+		return nil, fmt.Errorf("proto: reply claims %d servers, limit is %d", n, MaxServers)
+	}
 	errLen := int(binary.BigEndian.Uint16(b[7:]))
 	b = b[9:]
 	if len(b) < errLen {
 		return nil, fmt.Errorf("proto: truncated reply error text")
 	}
 	r.Err = string(b[:errLen])
+	if strings.ContainsAny(r.Err, "\n") {
+		return nil, fmt.Errorf("proto: error text contains newline")
+	}
 	b = b[errLen:]
 	if n == 0 {
 		if len(b) != 0 {

@@ -143,7 +143,8 @@ func (a ScanAgent) ScanDetailed() ([]ScanResult, error) {
 				if err != nil {
 					continue
 				}
-				conn.Close()
+				// Only reachability matters to the scan.
+				_ = conn.Close()
 				res.OpenPorts = append(res.OpenPorts, port)
 			}
 			sort.Ints(res.OpenPorts)

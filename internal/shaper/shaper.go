@@ -169,11 +169,14 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return written, nil
 }
 
-// Read paces received bytes through the read bucket.
+// Read paces received bytes through the read bucket. Deadlines are
+// the caller's to set; the wrapper forwards them to the embedded conn.
 func (c *Conn) Read(p []byte) (int, error) {
 	if c.rb == nil {
+		//lint:ignore deadline transparent pacing wrapper: the caller owns deadlines
 		return c.Conn.Read(p)
 	}
+	//lint:ignore deadline transparent pacing wrapper: the caller owns deadlines
 	n, err := c.Conn.Read(p)
 	if n > 0 {
 		if terr := c.rb.Take(nil, n); terr != nil && err == nil {

@@ -99,6 +99,10 @@ type Path struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
+	// sleep performs the scaled segment-occupancy pause; injected so
+	// tests can run contention scenarios in virtual time.
+	sleep func(time.Duration)
+
 	// shared, when attached, makes this path contend with others: the
 	// interference behind §3.3.3's strictly-sequential probing rule.
 	shared *Segment
@@ -154,7 +158,7 @@ func New(cfg Config) (*Path, error) {
 	if cfg.MTU < 0 || (cfg.MTU > 0 && cfg.MTU <= ipHeader+udpHeader) {
 		return nil, fmt.Errorf("simnet: path %q has unusable MTU %d", cfg.Name, cfg.MTU)
 	}
-	return &Path{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Path{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), sleep: time.Sleep}, nil
 }
 
 // Name returns the path's label.
@@ -305,7 +309,7 @@ func (p *Path) ProbeRTT(payload int) time.Duration {
 		// Occupy the segment for a (scaled) real duration so probes
 		// issued concurrently genuinely overlap; detached paths stay
 		// purely analytic and instant.
-		time.Sleep(d / contentionTimeScale)
+		p.sleep(d / contentionTimeScale)
 	}
 	if factor > 1 {
 		// Contention delays only the size-dependent part: the rival's

@@ -83,7 +83,7 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 	var conn net.Conn
 	defer func() {
 		if conn != nil {
-			conn.Close()
+			_ = conn.Close()
 		}
 	}()
 	for {
@@ -98,7 +98,8 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 		if conn != nil {
 			if err := t.writeSnapshot(conn); err != nil {
 				t.logf("transmitter: push: %v", err)
-				conn.Close()
+				// The push error is already logged; redial next tick.
+				_ = conn.Close()
 				conn = nil
 			}
 		}
@@ -116,7 +117,8 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 	go func() {
 		<-ctx.Done()
-		ln.Close()
+		// Accept below surfaces the close as net.ErrClosed.
+		_ = ln.Close()
 	}()
 	for {
 		conn, err := ln.Accept()
@@ -129,7 +131,9 @@ func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 		go func(c net.Conn) {
 			defer c.Close()
 			for {
-				c.SetReadDeadline(time.Now().Add(30 * time.Second))
+				if err := c.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+					return
+				}
 				f, err := status.ReadFrame(c)
 				if err != nil {
 					return
@@ -179,7 +183,8 @@ func (r *Receiver) Received() uint64 { return r.received.Load() }
 func (r *Receiver) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
-		r.ln.Close()
+		// Accept below surfaces the close as net.ErrClosed.
+		_ = r.ln.Close()
 	}()
 	for {
 		conn, err := r.ln.Accept()
@@ -193,7 +198,7 @@ func (r *Receiver) Run(ctx context.Context) error {
 			defer c.Close()
 			// A stopped receiver must drop its live connections too, or
 			// a transmitter keeps feeding a ghost after restart.
-			stop := context.AfterFunc(ctx, func() { c.Close() })
+			stop := context.AfterFunc(ctx, func() { _ = c.Close() })
 			defer stop()
 			for {
 				f, err := status.ReadFrame(c)
@@ -280,7 +285,9 @@ func pullOne(addr string, timeout time.Duration, m *mergedBatches) error {
 		return err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
 	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeRequest}); err != nil {
 		return err
 	}

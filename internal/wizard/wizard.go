@@ -112,7 +112,8 @@ func (w *Wizard) Rejected() uint64 { return w.rejected.Load() }
 func (w *Wizard) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
-		w.conn.Close()
+		// The read loop below surfaces the close as net.ErrClosed.
+		_ = w.conn.Close()
 	}()
 	buf := make([]byte, 64*1024)
 	for {

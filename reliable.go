@@ -106,7 +106,9 @@ func (r *ReliableConn) reconnectLocked(ctx context.Context) error {
 		return fmt.Errorf("smartsock: connection to %s is closed", r.addr)
 	}
 	if r.conn != nil {
-		r.conn.Close()
+		// The old socket is being replaced; its close error carries no
+		// information the reconnect result doesn't.
+		_ = r.conn.Close()
 		r.conn = nil
 	}
 	conn, err := r.dial(ctx, r.addr)
@@ -129,24 +131,36 @@ func (r *ReliableConn) Suspended() bool {
 // Write sends data, transparently redialing once if the socket is
 // broken or was never resumed. The caller's protocol must tolerate
 // the peer seeing a fresh connection (re-issue the current request).
+// The mutex guards only the connection swap, never the write itself,
+// so a stalled peer cannot wedge Suspend/Resume/Close; concurrent
+// writers serialise on the socket as they would on a plain net.Conn.
 func (r *ReliableConn) Write(p []byte) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	for attempt := 0; ; attempt++ {
+		r.mu.Lock()
 		if r.conn == nil || r.suspended {
 			if err := r.reconnectLocked(context.Background()); err != nil {
+				r.mu.Unlock()
 				return 0, err
 			}
 		}
-		n, err := r.conn.Write(p)
+		conn := r.conn
+		budget := r.maxRedials
+		r.mu.Unlock()
+
+		n, err := conn.Write(p)
 		if err == nil {
 			return n, nil
 		}
-		if attempt >= r.maxRedials {
+		if attempt >= budget {
 			return n, err
 		}
-		r.conn.Close()
-		r.conn = nil
+		r.mu.Lock()
+		if r.conn == conn {
+			// The error already told us the socket is broken.
+			_ = conn.Close()
+			r.conn = nil
+		}
+		r.mu.Unlock()
 	}
 }
 
@@ -163,6 +177,7 @@ func (r *ReliableConn) Read(p []byte) (int, error) {
 	}
 	conn := r.conn
 	r.mu.Unlock()
+	//lint:ignore deadline transparent wrapper: deadlines are the caller's, set through SetDeadline
 	return conn.Read(p)
 }
 

@@ -1,0 +1,30 @@
+#!/bin/sh
+# check.sh runs the full correctness gate: formatting, go vet, build,
+# race-enabled tests, and the project's own static analyzers
+# (cmd/smartlint). CI runs exactly this script; run it locally before
+# sending a change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== smartlint =="
+go run ./cmd/smartlint ./...
+
+echo "All checks passed."

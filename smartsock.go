@@ -172,7 +172,9 @@ func (c *Client) exchange(ctx context.Context, req *proto.Request) (*proto.Reply
 			deadline = d
 		}
 		for {
-			conn.SetReadDeadline(deadline)
+			if err := conn.SetReadDeadline(deadline); err != nil {
+				return nil, fmt.Errorf("smartsock: arm reply deadline: %w", err)
+			}
 			n, err := conn.Read(buf)
 			if err != nil {
 				lastErr = fmt.Errorf("smartsock: wizard did not answer: %w", err)
@@ -228,7 +230,8 @@ func (s *SocketSet) Redial(ctx context.Context, i int) error {
 	if i < 0 || i >= len(s.conns) {
 		return fmt.Errorf("smartsock: no socket %d in set of %d", i, len(s.conns))
 	}
-	s.conns[i].Close()
+	// The old socket is being replaced; only the redial result matters.
+	_ = s.conns[i].Close()
 	conn, err := s.dial(ctx, s.addrs[i])
 	if err != nil {
 		return fmt.Errorf("smartsock: redial %s: %w", s.addrs[i], err)
