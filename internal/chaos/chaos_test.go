@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, DropRate: 0.3, DupRate: 0.1, DelayRate: 0.2, ReorderRate: 0.1}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("packet %d: schedules diverged: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	a := New(Config{Seed: 1, DropRate: 0.5})
+	b := New(Config{Seed: 2, DropRate: 0.5})
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Next() != b.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 64-packet schedules")
+	}
+}
+
+func TestDropRateIsRoughlyHonoured(t *testing.T) {
+	in := New(Config{Seed: 42, DropRate: 0.2})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		in.Next()
+	}
+	got := float64(in.Dropped()) / n
+	if got < 0.15 || got > 0.25 {
+		t.Fatalf("drop rate 0.2 yielded %.3f over %d packets", got, n)
+	}
+	if in.Passed()+in.Dropped() != n {
+		t.Fatalf("counter mismatch: %d passed + %d dropped != %d",
+			in.Passed(), in.Dropped(), n)
+	}
+}
+
+func TestPartitionDropsEverythingAndLifts(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.Partition(true)
+	for i := 0; i < 10; i++ {
+		if f := in.Next(); !f.Drop {
+			t.Fatal("partitioned injector delivered a packet")
+		}
+	}
+	in.Partition(false)
+	if f := in.Next(); f.Drop {
+		t.Fatal("zero-rate injector dropped after the partition lifted")
+	}
+}
+
+// pipeConns builds a connected UDP pair on loopback.
+func pipeConns(t *testing.T) (client net.Conn, server *net.UDPConn) {
+	t.Helper()
+	srv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Dial("udp", srv.LocalAddr().String())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+func recvAll(t *testing.T, srv *net.UDPConn, wait time.Duration) []string {
+	t.Helper()
+	var out []string
+	buf := make([]byte, 2048)
+	if err := srv.SetReadDeadline(time.Now().Add(wait)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		n, _, err := srv.ReadFromUDP(buf)
+		if err != nil {
+			return out
+		}
+		out = append(out, string(buf[:n]))
+	}
+}
+
+func TestConnDropsDatagramsSilently(t *testing.T) {
+	cli, srv := pipeConns(t)
+	in := New(Config{Seed: 3, DropRate: 1})
+	cc := in.WrapConn(cli)
+	for i := 0; i < 5; i++ {
+		if n, err := cc.Write([]byte("report")); err != nil || n != 6 {
+			t.Fatalf("dropped write returned (%d, %v), want silent success", n, err)
+		}
+	}
+	if got := recvAll(t, srv, 100*time.Millisecond); len(got) != 0 {
+		t.Fatalf("full-loss conn delivered %d datagrams", len(got))
+	}
+	if in.Dropped() != 5 {
+		t.Fatalf("Dropped() = %d, want 5", in.Dropped())
+	}
+}
+
+func TestConnDuplicates(t *testing.T) {
+	cli, srv := pipeConns(t)
+	in := New(Config{Seed: 3, DupRate: 1})
+	cc := in.WrapConn(cli)
+	if _, err := cc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvAll(t, srv, 200*time.Millisecond); len(got) != 2 {
+		t.Fatalf("dup conn delivered %d datagrams, want 2", len(got))
+	}
+}
+
+func TestConnReordersAcrossWrites(t *testing.T) {
+	cli, srv := pipeConns(t)
+	// Reorder the first packet only: hold "a", deliver it after "b".
+	in := New(Config{Seed: 3, ReorderRate: 1})
+	cc := in.WrapConn(cli)
+	if _, err := cc.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvAll(t, srv, 100*time.Millisecond); len(got) != 0 {
+		t.Fatalf("held packet was delivered early: %v", got)
+	}
+	if _, err := cc.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvAll(t, srv, 200*time.Millisecond)
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("reorder delivered %v, want [b a]", got)
+	}
+}
+
+func TestPacketConnDrop(t *testing.T) {
+	cli, srv := pipeConns(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	_ = cli // srv address reused below
+	in := New(Config{Seed: 9, DropRate: 1})
+	wrapped := in.WrapPacketConn(pc)
+	dst := srv.LocalAddr()
+	if n, err := wrapped.WriteTo([]byte("gone"), dst); err != nil || n != 4 {
+		t.Fatalf("dropped WriteTo returned (%d, %v)", n, err)
+	}
+	if got := recvAll(t, srv, 100*time.Millisecond); len(got) != 0 {
+		t.Fatalf("full-loss packet conn delivered %v", got)
+	}
+}
+
+func TestStreamConnReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 256)
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 1})
+	sc := in.WrapStream(raw)
+	if _, err := sc.Write([]byte("ok")); err != nil {
+		t.Fatalf("pre-reset write failed: %v", err)
+	}
+	if err := sc.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if !sc.WasReset() {
+		t.Fatal("WasReset() false after Reset")
+	}
+	if _, err := sc.Write([]byte("dead")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+func TestStreamConnStall(t *testing.T) {
+	var slept time.Duration
+	in := New(Config{Seed: 1})
+	in.sleep = func(d time.Duration) { slept += d }
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64)
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	sc := in.WrapStream(raw)
+	sc.Stall(300 * time.Millisecond)
+	if _, err := sc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 300*time.Millisecond {
+		t.Fatalf("stall slept %v, want 300ms", slept)
+	}
+	// The stall is one-shot.
+	if _, err := sc.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 300*time.Millisecond {
+		t.Fatalf("second write slept again (total %v)", slept)
+	}
+}
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv("CHAOS_SEED", "123")
+	if got := SeedFromEnv(9); got != 123 {
+		t.Fatalf("SeedFromEnv = %d, want 123", got)
+	}
+	t.Setenv("CHAOS_SEED", "not-a-number")
+	if got := SeedFromEnv(9); got != 9 {
+		t.Fatalf("SeedFromEnv fallback = %d, want 9", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Socket wrappers: the injector applied to real connections. Conn
+// wraps a datagram-oriented net.Conn (every Write is one packet),
+// PacketConn wraps a net.PacketConn the same way, and StreamConn
+// wraps a TCP connection with stall and reset injection. Faults act
+// on the send side only: a dropped datagram reports success to the
+// caller, exactly as a lossy network looks to a UDP sender.
+
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conn is a datagram net.Conn with send-side fault injection. Reads
+// and deadlines pass through untouched.
+type Conn struct {
+	net.Conn
+	in *Injector
+
+	mu   sync.Mutex
+	held []byte // one reordered datagram awaiting the next send
+}
+
+// WrapConn wraps a datagram connection with this injector's faults.
+func (in *Injector) WrapConn(c net.Conn) *Conn {
+	return &Conn{Conn: c, in: in}
+}
+
+// Write applies the injector's fate to one datagram. Dropped packets
+// report success (UDP gives the sender no loss signal); duplicated
+// packets are sent twice; reordered packets are held until the next
+// Write on this connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	f := c.in.Next()
+	if f.Drop {
+		return len(p), nil
+	}
+	if f.Delay > 0 {
+		c.in.sleep(f.Delay)
+	}
+	// Assemble the send list under the lock, write outside it: a slow
+	// socket must not wedge concurrent writers on the reorder buffer.
+	var sends [][]byte
+	c.mu.Lock()
+	if f.Reorder && c.held == nil {
+		c.held = append([]byte(nil), p...)
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	sends = append(sends, p)
+	if f.Dup {
+		sends = append(sends, p)
+	}
+	if c.held != nil {
+		sends = append(sends, c.held)
+		c.held = nil
+	}
+	c.mu.Unlock()
+	for _, b := range sends {
+		if _, err := c.Conn.Write(b); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// PacketConn is a net.PacketConn with the same send-side faults as
+// Conn, for components that use the unconnected UDP API.
+type PacketConn struct {
+	net.PacketConn
+	in *Injector
+
+	mu       sync.Mutex
+	held     []byte
+	heldAddr net.Addr
+}
+
+// WrapPacketConn wraps a packet connection with this injector's
+// faults.
+func (in *Injector) WrapPacketConn(pc net.PacketConn) *PacketConn {
+	return &PacketConn{PacketConn: pc, in: in}
+}
+
+// WriteTo applies the injector's fate to one outbound datagram.
+func (pc *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	f := pc.in.Next()
+	if f.Drop {
+		return len(p), nil
+	}
+	if f.Delay > 0 {
+		pc.in.sleep(f.Delay)
+	}
+	type send struct {
+		data []byte
+		addr net.Addr
+	}
+	var sends []send
+	pc.mu.Lock()
+	if f.Reorder && pc.held == nil {
+		pc.held = append([]byte(nil), p...)
+		pc.heldAddr = addr
+		pc.mu.Unlock()
+		return len(p), nil
+	}
+	sends = append(sends, send{p, addr})
+	if f.Dup {
+		sends = append(sends, send{p, addr})
+	}
+	if pc.held != nil {
+		sends = append(sends, send{pc.held, pc.heldAddr})
+		pc.held, pc.heldAddr = nil, nil
+	}
+	pc.mu.Unlock()
+	for _, s := range sends {
+		if _, err := pc.PacketConn.WriteTo(s.data, s.addr); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// StreamConn wraps a TCP connection with stall and reset injection —
+// the transmitter→receiver link faults. Drop/dup/reorder make no
+// sense on a byte stream; StreamConn instead offers the two failures
+// a TCP peer actually observes: writes that hang (a stalled link or a
+// full remote window) and connections that die mid-stream.
+type StreamConn struct {
+	net.Conn
+	in *Injector
+
+	stallNanos atomic.Int64 // pending stall applied to the next Write
+	reset      atomic.Bool
+}
+
+// WrapStream wraps a stream connection for stall/reset injection and
+// registers it so ResetAllStreams can find it later.
+func (in *Injector) WrapStream(c net.Conn) *StreamConn {
+	s := &StreamConn{Conn: c, in: in}
+	in.streamMu.Lock()
+	in.streams = append(in.streams, s)
+	in.streamMu.Unlock()
+	return s
+}
+
+// ResetAllStreams resets every stream this injector has wrapped and
+// returns how many it tore down. Chaos tests use it to sever live
+// transmitter links without holding a reference to each connection.
+// Already-reset streams are skipped.
+func (in *Injector) ResetAllStreams() int {
+	in.streamMu.Lock()
+	streams := make([]*StreamConn, len(in.streams))
+	copy(streams, in.streams)
+	in.streamMu.Unlock()
+	n := 0
+	for _, s := range streams {
+		if s.WasReset() {
+			continue
+		}
+		// The socket is being destroyed on purpose; its close error is
+		// the expected outcome, not a failure.
+		_ = s.Reset()
+		n++
+	}
+	return n
+}
+
+// Stall pauses the next Write for d before it touches the socket,
+// modelling a link that froze mid-snapshot.
+func (s *StreamConn) Stall(d time.Duration) { s.stallNanos.Store(int64(d)) }
+
+// Reset tears the connection down: the underlying socket closes, so
+// the next operation fails and the owner must redial. Mirrors an RST
+// or a crashed peer host.
+func (s *StreamConn) Reset() error {
+	s.reset.Store(true)
+	return s.Conn.Close()
+}
+
+// WasReset reports whether Reset was injected.
+func (s *StreamConn) WasReset() bool { return s.reset.Load() }
+
+// Write applies any pending stall, then writes through. A reset
+// connection fails immediately at the socket layer.
+func (s *StreamConn) Write(p []byte) (int, error) {
+	if d := s.stallNanos.Swap(0); d > 0 {
+		s.in.sleep(time.Duration(d))
+	}
+	return s.Conn.Write(p)
+}

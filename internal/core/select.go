@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"smartsock/internal/proto"
 	"smartsock/internal/reqlang"
@@ -33,6 +34,11 @@ type Config struct {
 	// ServicePort is appended to selected hosts that carry no port of
 	// their own, producing dialable addresses.
 	ServicePort int
+	// MaxStatusAge drops server records older than this before
+	// evaluation, so a server whose probe has gone silent falls out of
+	// candidate lists even before the monitor's expiry sweep removes
+	// its record. Zero disables the filter (historical behaviour).
+	MaxStatusAge time.Duration
 }
 
 // Decision records why one server was accepted or rejected — the
@@ -57,6 +63,9 @@ type Result struct {
 	Decisions []Decision
 	// Shortfall is how many requested servers could not be found.
 	Shortfall int
+	// StaleDropped counts server records skipped for exceeding
+	// Config.MaxStatusAge, before any requirement was evaluated.
+	StaleDropped int
 }
 
 // Selector evaluates requirements against the status database.
@@ -88,6 +97,15 @@ func (s *Selector) Select(prog *reqlang.Program, n int, opt proto.Option) (Resul
 
 	recs := s.db.Sys() // sorted by host: deterministic scan order
 	result := Result{Decisions: make([]Decision, 0, len(recs))}
+	if s.cfg.MaxStatusAge > 0 {
+		fresh := s.db.FreshSys(s.cfg.MaxStatusAge)
+		// Records may land between the two snapshots; never report a
+		// negative drop count for it.
+		if d := len(recs) - len(fresh); d > 0 {
+			result.StaleDropped = d
+		}
+		recs = fresh
+	}
 
 	type scored struct {
 		addr      string

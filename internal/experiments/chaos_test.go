@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestChaosLossSweep runs the loss sweep in Quick mode and checks the
+// two anchoring rows: the 0%-loss baseline must drop nothing and
+// answer every request, and the lossy row must actually have injected
+// faults — otherwise the sweep is measuring a healthy network twice.
+func TestChaosLossSweep(t *testing.T) {
+	tb := quickRun(t, "chaos.loss")
+	if len(tb.Rows) != 2 {
+		t.Fatalf("quick sweep has %d rows, want 2 (0%% and 20%% loss)", len(tb.Rows))
+	}
+	baseline, lossy := tb.Rows[0], tb.Rows[1]
+	if baseline[0] != "0%" {
+		t.Fatalf("first row is %q, want the 0%% baseline", baseline[0])
+	}
+	if baseline[2] != "0" {
+		t.Errorf("baseline dropped %s reports, want 0", baseline[2])
+	}
+	if !strings.HasPrefix(baseline[4], "3/") {
+		t.Errorf("baseline answered %s requests, want all 3", baseline[4])
+	}
+	dropped, err := strconv.Atoi(lossy[2])
+	if err != nil || dropped == 0 {
+		t.Errorf("lossy row dropped %q reports, want > 0", lossy[2])
+	}
+	okPart, _, _ := strings.Cut(lossy[4], "/")
+	if n, err := strconv.Atoi(okPart); err != nil || n == 0 {
+		t.Errorf("lossy row answered %q requests, want at least one", lossy[4])
+	}
+}

@@ -29,6 +29,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"appendixA",
 		"ablation.probesize", "ablation.encoding", "ablation.transport",
 		"ablation.reporting", "ablation.sequential",
+		"chaos.loss",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

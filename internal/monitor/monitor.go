@@ -37,6 +37,12 @@ type Config struct {
 	// EnableTCP additionally listens for framed TCP reports on the
 	// same port number.
 	EnableTCP bool
+	// ExpireAll additionally ages out network and security records in
+	// the expiry sweep. They decay slower than server records — their
+	// sources report far less often — so the horizon is 4× the server
+	// one. Off by default to preserve the historical behaviour where
+	// only sysdb records expire.
+	ExpireAll bool
 	// Logger receives decode errors; nil silences them.
 	Logger *log.Logger
 }
@@ -214,6 +220,14 @@ func (m *Monitor) expireLoop(ctx context.Context) {
 			if len(gone) > 0 {
 				m.expired.Add(uint64(len(gone)))
 				m.logf("monitor: expired silent servers %v", gone)
+			}
+			if m.cfg.ExpireAll {
+				n := m.cfg.DB.ExpireNet(4 * maxAge)
+				n += m.cfg.DB.ExpireSec(4 * maxAge)
+				if n > 0 {
+					m.expired.Add(uint64(n))
+					m.logf("monitor: expired %d stale net/sec records", n)
+				}
 			}
 		}
 	}

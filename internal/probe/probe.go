@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smartsock/internal/retry"
 	"smartsock/internal/status"
 	"smartsock/internal/sysinfo"
 )
@@ -68,6 +69,9 @@ type Config struct {
 	Interval time.Duration
 	// Transport is UDP (default) or TCP.
 	Transport Transport
+	// Dial opens the report socket; nil means net.Dial. The chaos
+	// layer injects lossy or partitioned wrappers here.
+	Dial func(network, addr string) (net.Conn, error)
 	// Logger receives scan errors; nil silences them.
 	Logger *log.Logger
 }
@@ -127,19 +131,34 @@ func (p *Probe) Close() error {
 
 // Run scans and reports until the context is cancelled. The first
 // report goes out immediately so a freshly started server enters the
-// pool without waiting a full interval.
+// pool without waiting a full interval. Consecutive failures back the
+// report cadence off exponentially (bounded, jittered) so a dead or
+// unreachable monitor is not hammered at full rate; the first success
+// re-registers the probe and restores the normal interval.
 func (p *Probe) Run(ctx context.Context) error {
 	defer p.Close()
-	ticker := time.NewTicker(p.cfg.Interval)
-	defer ticker.Stop()
+	bo := &retry.Backoff{Base: p.cfg.Interval, Max: 8 * p.cfg.Interval}
+	timer := time.NewTimer(p.cfg.Interval)
+	defer timer.Stop()
 	for {
+		wait := p.cfg.Interval
 		if err := p.ReportOnce(); err != nil {
 			p.logf("probe: %v", err)
+			wait = bo.Next()
+		} else {
+			bo.Reset()
 		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
+		case <-timer.C:
 		}
 	}
 }
@@ -162,7 +181,7 @@ func (p *Probe) ReportOnce() error {
 func (p *Probe) send(msg []byte) error {
 	switch p.cfg.Transport {
 	case TCP:
-		conn, err := net.DialTimeout("tcp", p.cfg.Monitor, 2*time.Second)
+		conn, err := p.dial("tcp", p.cfg.Monitor)
 		if err != nil {
 			return fmt.Errorf("dial monitor: %w", err)
 		}
@@ -211,7 +230,7 @@ func (p *Probe) udpConn() (net.Conn, error) {
 	}
 	p.connMu.Unlock()
 
-	conn, err := net.Dial("udp", p.cfg.Monitor)
+	conn, err := p.dial("udp", p.cfg.Monitor)
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +248,18 @@ func (p *Probe) udpConn() (net.Conn, error) {
 	p.conn = conn
 	go p.controlLoop(conn)
 	return conn, nil
+}
+
+// dial opens the report socket through the configured hook, defaulting
+// to net.Dial with a short timeout for TCP.
+func (p *Probe) dial(network, addr string) (net.Conn, error) {
+	if p.cfg.Dial != nil {
+		return p.cfg.Dial(network, addr)
+	}
+	if network == "tcp" {
+		return net.DialTimeout(network, addr, 2*time.Second)
+	}
+	return net.Dial(network, addr)
 }
 
 // controlLoop applies selected-parameters instructions as they

@@ -1,0 +1,184 @@
+package proto
+
+// Golden-frame tests: the exact bytes of every request/reply shape
+// are checked into testdata/, so any change to the wire format —
+// field order, widths, endianness, separators — fails loudly instead
+// of silently breaking mixed-version deployments where an old client
+// talks to a new wizard.
+//
+// Regenerate after an *intentional* format change with:
+//
+//	go test ./internal/proto -run Golden -update
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden frame fixtures")
+
+// goldenPath returns the fixture file for one frame name.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".hex")
+}
+
+// readGolden loads a fixture, tolerating whitespace so the hex can be
+// wrapped for readability.
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("read fixture (run with -update to create): %v", err)
+	}
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\t' {
+			return -1
+		}
+		return r
+	}, string(raw))
+	b, err := hex.DecodeString(clean)
+	if err != nil {
+		t.Fatalf("fixture %s is not valid hex: %v", name, err)
+	}
+	return b
+}
+
+// writeGolden stores a frame as hex, wrapped at 32 bytes per line.
+func writeGolden(t *testing.T, name string, frame []byte) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := hex.EncodeToString(frame)
+	var b strings.Builder
+	for i := 0; i < len(s); i += 64 {
+		end := i + 64
+		if end > len(s) {
+			end = len(s)
+		}
+		b.WriteString(s[i:end])
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(goldenPath(name), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenRequestFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"request_basic", Request{
+			Seq:       0x01020304,
+			ServerNum: 3,
+			Option:    OptPartialOK,
+			Detail:    "host_cpu_free >= 0.9\nhost_memory_free > 100\n",
+		}},
+		{"request_template", Request{
+			Seq:       0xDEADBEEF,
+			ServerNum: 1,
+			Option:    OptTemplate | OptRankByExpr,
+			Detail:    "big-memory",
+		}},
+		{"request_empty_detail", Request{
+			Seq:       7,
+			ServerNum: 60,
+			Option:    0,
+			Detail:    "",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MarshalRequest(&tc.req)
+			if *update {
+				writeGolden(t, tc.name, got)
+				return
+			}
+			want := readGolden(t, tc.name)
+			if !bytes.Equal(got, want) {
+				t.Errorf("MarshalRequest drifted from fixture:\n got %x\nwant %x", got, want)
+			}
+			// The fixture must also decode back to the original struct,
+			// so old frames stay readable.
+			dec, err := UnmarshalRequest(want)
+			if err != nil {
+				t.Fatalf("UnmarshalRequest(fixture): %v", err)
+			}
+			if !reflect.DeepEqual(*dec, tc.req) {
+				t.Errorf("fixture decoded to %+v, want %+v", *dec, tc.req)
+			}
+		})
+	}
+}
+
+func TestGoldenReplyFrames(t *testing.T) {
+	cases := []struct {
+		name  string
+		reply Reply
+	}{
+		{"reply_servers", Reply{
+			Seq:     0x01020304,
+			Servers: []string{"dalmatian:9000", "sagit:9000", "dione:9000"},
+		}},
+		{"reply_error", Reply{
+			Seq: 0xDEADBEEF,
+			Err: "parse requirement: reqlang: line 1 col 3: unexpected '&' (only '&&' is defined)",
+		}},
+		{"reply_empty", Reply{
+			Seq: 7,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MarshalReply(&tc.reply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				writeGolden(t, tc.name, got)
+				return
+			}
+			want := readGolden(t, tc.name)
+			if !bytes.Equal(got, want) {
+				t.Errorf("MarshalReply drifted from fixture:\n got %x\nwant %x", got, want)
+			}
+			dec, err := UnmarshalReply(want)
+			if err != nil {
+				t.Fatalf("UnmarshalReply(fixture): %v", err)
+			}
+			if !reflect.DeepEqual(*dec, tc.reply) {
+				t.Errorf("fixture decoded to %+v, want %+v", *dec, tc.reply)
+			}
+		})
+	}
+}
+
+// TestGoldenHeaderLayout documents the byte layout explicitly: if one
+// of these offsets moves, the comment in the fixture no longer matches
+// reality and cross-version compatibility is broken.
+func TestGoldenHeaderLayout(t *testing.T) {
+	req := MarshalRequest(&Request{Seq: 0xAABBCCDD, ServerNum: 0x0102, Option: 0x0304, Detail: "x"})
+	if req[0] != 'Q' {
+		t.Errorf("request tag = %#x, want 'Q'", req[0])
+	}
+	wantReq := []byte{'Q', 0xAA, 0xBB, 0xCC, 0xDD, 0x01, 0x02, 0x03, 0x04, 0, 0, 0, 1, 'x'}
+	if !bytes.Equal(req, wantReq) {
+		t.Errorf("request layout\n got %x\nwant %x", req, wantReq)
+	}
+
+	rep, err := MarshalReply(&Reply{Seq: 0xAABBCCDD, Servers: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep := []byte{'R', 0xAA, 0xBB, 0xCC, 0xDD, 0x00, 0x02, 0x00, 0x00, 'a', '\n', 'b'}
+	if !bytes.Equal(rep, wantRep) {
+		t.Errorf("reply layout\n got %x\nwant %x", rep, wantRep)
+	}
+}

@@ -1,0 +1,63 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// constFault drops everything or delays everything, for hook tests.
+type constFault struct {
+	drop  bool
+	extra time.Duration
+}
+
+func (f constFault) Packet() (bool, time.Duration) { return f.drop, f.extra }
+
+func faultyLAN(t *testing.T) *Path {
+	t.Helper()
+	p, err := New(Config{
+		Name: "lan", MTU: 1500, Timeout: 750 * time.Millisecond,
+		Hops: []Hop{{Capacity: 100e6, PropDelay: 20 * time.Microsecond, ProcDelay: 2 * time.Microsecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFaultDropReportsTimeout(t *testing.T) {
+	p := faultyLAN(t)
+	clean := p.ProbeRTT(64)
+	p.SetFault(constFault{drop: true})
+	if got := p.ProbeRTT(64); got != 750*time.Millisecond {
+		t.Fatalf("dropped probe RTT = %v, want the 750ms timeout", got)
+	}
+	if got := p.ProbePair(64); got != 750*time.Millisecond {
+		t.Fatalf("dropped pair dispersion = %v, want the timeout", got)
+	}
+	p.SetFault(nil)
+	if got := p.ProbeRTT(64); got > 10*clean+time.Millisecond {
+		t.Fatalf("detached fault still affects probes: %v (clean %v)", got, clean)
+	}
+}
+
+func TestFaultExtraDelayInflatesRTT(t *testing.T) {
+	p := faultyLAN(t)
+	clean := p.ProbeRTT(64)
+	p.SetFault(constFault{extra: 5 * time.Millisecond})
+	got := p.ProbeRTT(64)
+	if got < clean+4*time.Millisecond {
+		t.Fatalf("injected 5ms delay, RTT went %v → %v", clean, got)
+	}
+}
+
+func TestFaultDropMarksStreamPackets(t *testing.T) {
+	p := faultyLAN(t)
+	p.SetFault(constFault{drop: true})
+	delays := p.SendStream(512, 4, 1e6)
+	for i, d := range delays {
+		if d != 750*time.Millisecond {
+			t.Fatalf("stream packet %d delay %v, want timeout", i, d)
+		}
+	}
+}

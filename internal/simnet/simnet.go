@@ -69,6 +69,15 @@ func (h Hop) Available() float64 {
 	return h.Capacity * (1 - u)
 }
 
+// Fault decides the fate of one simulated probe packet. It is the
+// hook the chaos layer plugs into a path: drop turns the probe into a
+// loss (the path reports its timeout RTT instead of a measurement),
+// extra adds injected queueing delay. Implementations must be safe
+// for concurrent use.
+type Fault interface {
+	Packet() (drop bool, extra time.Duration)
+}
+
 // Config describes a path between two hosts.
 type Config struct {
 	Name string
@@ -90,6 +99,10 @@ type Config struct {
 	Hops []Hop
 	// Seed makes the path's noise reproducible.
 	Seed int64
+	// Timeout is the RTT a lost probe reports: the prober gives up
+	// waiting for the echo after this long. Only consulted when a
+	// Fault is attached. Defaults to 2 s.
+	Timeout time.Duration
 }
 
 // Path is a probe-able simulated network path.
@@ -106,6 +119,10 @@ type Path struct {
 	// shared, when attached, makes this path contend with others: the
 	// interference behind §3.3.3's strictly-sequential probing rule.
 	shared *Segment
+
+	// fault, when attached, injects loss and extra delay into every
+	// probe the path carries (the chaos hook).
+	fault Fault
 }
 
 // Segment is a network segment several paths traverse (the links near
@@ -159,6 +176,33 @@ func New(cfg Config) (*Path, error) {
 		return nil, fmt.Errorf("simnet: path %q has unusable MTU %d", cfg.Name, cfg.MTU)
 	}
 	return &Path{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), sleep: time.Sleep}, nil
+}
+
+// SetFault attaches a fault injector to the path; nil detaches. Every
+// subsequent probe packet consults it.
+func (p *Path) SetFault(f Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fault = f
+}
+
+// packetFate consults the attached fault, if any.
+func (p *Path) packetFate() (drop bool, extra time.Duration) {
+	p.mu.Lock()
+	f := p.fault
+	p.mu.Unlock()
+	if f == nil {
+		return false, 0
+	}
+	return f.Packet()
+}
+
+// timeout is the lost-probe RTT.
+func (p *Path) timeout() time.Duration {
+	if p.cfg.Timeout > 0 {
+		return p.cfg.Timeout
+	}
+	return 2 * time.Second
 }
 
 // Name returns the path's label.
@@ -301,6 +345,16 @@ func (p *Path) noise(base time.Duration) time.Duration {
 // measurement primitive. Probes running concurrently on an attached
 // shared segment inflate one another's measured delays.
 func (p *Path) ProbeRTT(payload int) time.Duration {
+	drop, extra := p.packetFate()
+	if drop {
+		// The echo never comes back; the prober waits out its timeout.
+		return p.timeout()
+	}
+	return p.probeRTTClean(payload) + extra
+}
+
+// probeRTTClean is ProbeRTT without fault consultation.
+func (p *Path) probeRTTClean(payload int) time.Duration {
 	leave, factor := p.enter()
 	defer leave()
 	base := p.onewayDelay(payload) + p.returnDelay()
@@ -339,6 +393,12 @@ func (p *Path) sharedSegment() *Segment {
 // perturbed by queueing noise, which is exactly why pipechar "will
 // report wrong results" on paths with high delay variation (§3.3.1).
 func (p *Path) ProbePair(payload int) time.Duration {
+	drop, extra := p.packetFate()
+	if drop {
+		// Either packet of the pair lost: the dispersion degenerates to
+		// the prober's timeout, the "wrong results" regime.
+		return p.timeout()
+	}
 	_, wire := p.fragments(payload)
 	hops := p.hops()
 	bottleneck := math.Inf(1)
@@ -367,7 +427,8 @@ func (p *Path) ProbePair(payload int) time.Duration {
 			gap = time.Microsecond
 		}
 	}
-	return gap
+	// Injected delay hits one packet of the pair, widening the gap.
+	return gap + extra
 }
 
 // SendStream sends n packets of the given payload size at the given
@@ -399,6 +460,14 @@ func (p *Path) SendStream(payload, n int, rate float64) []time.Duration {
 			queue = 0
 		}
 		d := base + time.Duration(queue*float64(time.Second))
+		if drop, extra := p.packetFate(); drop {
+			// A lost stream packet reads as a delay spike of the full
+			// probe timeout — what a SLoPS receiver's gap timer sees.
+			delays[i] = p.timeout()
+			continue
+		} else if extra > 0 {
+			d += extra
+		}
 		delays[i] = d + p.noise(base)
 	}
 	return delays

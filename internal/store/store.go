@@ -93,6 +93,28 @@ func (db *DB) Sys() []SysRecord {
 	return out
 }
 
+// FreshSys returns only the server records updated within maxAge,
+// sorted by host. Readers that cannot wait for the monitor's expiry
+// sweep (the wizard answering a selection request) use this to keep
+// dead servers out of candidate lists between sweeps. A non-positive
+// maxAge disables the filter.
+func (db *DB) FreshSys(maxAge time.Duration) []SysRecord {
+	if maxAge <= 0 {
+		return db.Sys()
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cutoff := db.clock().Add(-maxAge)
+	out := make([]SysRecord, 0, len(db.sys))
+	for _, r := range db.sys {
+		if !r.UpdatedAt.Before(cutoff) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Status.Host < out[j].Status.Host })
+	return out
+}
+
 // SysLen reports the number of live server records.
 func (db *DB) SysLen() int {
 	db.mu.RLock()
@@ -159,6 +181,21 @@ func (db *DB) ExpireNet(maxAge time.Duration) int {
 	for k, r := range db.net {
 		if r.UpdatedAt.Before(cutoff) {
 			delete(db.net, k)
+			n++
+		}
+	}
+	return n
+}
+
+// ExpireSec removes security records older than maxAge.
+func (db *DB) ExpireSec(maxAge time.Duration) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cutoff := db.clock().Add(-maxAge)
+	n := 0
+	for k, r := range db.sec {
+		if r.UpdatedAt.Before(cutoff) {
+			delete(db.sec, k)
 			n++
 		}
 	}

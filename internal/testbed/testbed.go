@@ -17,8 +17,10 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
+	"smartsock/internal/chaos"
 	"smartsock/internal/core"
 	"smartsock/internal/monitor"
 	"smartsock/internal/netmon"
@@ -99,6 +101,26 @@ type Options struct {
 	// LocalMonitor names the client's network monitor. Defaults to
 	// "netmon-local".
 	LocalMonitor string
+	// MissedIntervals before the system monitor declares a silent
+	// server failed; 0 keeps the monitor's default of 3. Chaos tests
+	// use 2 so eviction happens within two status epochs.
+	MissedIntervals int
+	// ExpireAll additionally ages network and security records out of
+	// the monitor-side database (see monitor.Config.ExpireAll).
+	ExpireAll bool
+	// MaxStatusAge makes the wizard's selector skip server records
+	// older than this, evicting dead servers from candidate lists even
+	// between monitor expiry sweeps. Zero disables the filter.
+	MaxStatusAge time.Duration
+	// ProbeFaults, when set, wraps every probe's report socket so
+	// probe→monitor datagrams suffer the injector's loss/dup/delay
+	// schedule. The monitor side is untouched — faults are send-side,
+	// like a real lossy link.
+	ProbeFaults *chaos.Injector
+	// TxFaults, when set, wraps the transmitter→receiver TCP stream
+	// (centralized push) or the receiver's pull connections
+	// (distributed) in a chaos.StreamConn for stall/reset injection.
+	TxFaults *chaos.Injector
 }
 
 // Cluster is a running in-process deployment.
@@ -119,8 +141,13 @@ type Cluster struct {
 
 	wizard     *wizard.Wizard
 	sysMonitor *monitor.Monitor
+	ctx        context.Context
 	cancel     context.CancelFunc
 	probeEvery time.Duration
+	probeDial  func(network, addr string) (net.Conn, error)
+
+	hostMu     sync.Mutex
+	hostCancel map[string]context.CancelFunc // nil entry = crashed host
 }
 
 // Boot assembles and starts the full pipeline.
@@ -142,8 +169,19 @@ func Boot(opts Options) (*Cluster, error) {
 		WizardDB:   store.New(),
 		Sources:    make(map[string]*sysinfo.Synthetic, len(machines)),
 		Machines:   make(map[string]Machine, len(machines)),
+		ctx:        ctx,
 		cancel:     cancel,
 		probeEvery: opts.ProbeInterval,
+		hostCancel: make(map[string]context.CancelFunc, len(machines)),
+	}
+	if in := opts.ProbeFaults; in != nil {
+		c.probeDial = func(network, addr string) (net.Conn, error) {
+			conn, err := net.Dial(network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return in.WrapConn(conn), nil
+		}
 	}
 	fail := func(err error) (*Cluster, error) {
 		cancel()
@@ -152,9 +190,11 @@ func Boot(opts Options) (*Cluster, error) {
 
 	// System monitor + probes (§3.2).
 	sysMon, err := monitor.New(monitor.Config{
-		Addr:     "127.0.0.1:0",
-		DB:       c.DB,
-		Interval: opts.ProbeInterval,
+		Addr:            "127.0.0.1:0",
+		DB:              c.DB,
+		Interval:        opts.ProbeInterval,
+		MissedIntervals: opts.MissedIntervals,
+		ExpireAll:       opts.ExpireAll,
 	})
 	if err != nil {
 		return fail(err)
@@ -165,15 +205,9 @@ func Boot(opts Options) (*Cluster, error) {
 		src := sysinfo.NewSynthetic(sysinfo.Idle(m.Name, m.Bogomips, m.RAMMB))
 		c.Sources[m.Name] = src
 		c.Machines[m.Name] = m
-		p, err := probe.New(probe.Config{
-			Source:   src,
-			Monitor:  sysMon.Addr(),
-			Interval: opts.ProbeInterval,
-		})
-		if err != nil {
+		if err := c.startProbe(m.Name); err != nil {
 			return fail(err)
 		}
-		go p.Run(ctx)
 	}
 
 	// Network monitor (§3.3.3).
@@ -221,6 +255,17 @@ func Boot(opts Options) (*Cluster, error) {
 	if err != nil {
 		return fail(err)
 	}
+	if in := opts.TxFaults; in != nil {
+		streamDial := func(network, addr string) (net.Conn, error) {
+			conn, err := net.DialTimeout(network, addr, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return in.WrapStream(conn), nil
+		}
+		tx.Dial = streamDial
+		recv.Dial = streamDial
+	}
 	var update wizard.UpdateFunc
 	if opts.Distributed {
 		ln, err := listenLoopback()
@@ -246,6 +291,7 @@ func Boot(opts Options) (*Cluster, error) {
 	sel, err := core.New(c.WizardDB, core.Config{
 		LocalMonitor: opts.LocalMonitor,
 		GroupOf:      groupOf,
+		MaxStatusAge: opts.MaxStatusAge,
 	})
 	if err != nil {
 		return fail(err)
@@ -261,6 +307,64 @@ func Boot(opts Options) (*Cluster, error) {
 	c.wizard = wz
 	go wz.Run(ctx)
 	return c, nil
+}
+
+// startProbe launches (or relaunches) the named host's probe under a
+// per-host context, so a single virtual host can crash and restart
+// without touching the rest of the cluster.
+func (c *Cluster) startProbe(name string) error {
+	src, ok := c.Sources[name]
+	if !ok {
+		return fmt.Errorf("testbed: unknown host %q", name)
+	}
+	p, err := probe.New(probe.Config{
+		Source:   src,
+		Monitor:  c.sysMonitor.Addr(),
+		Interval: c.probeEvery,
+		Dial:     c.probeDial,
+	})
+	if err != nil {
+		return err
+	}
+	hostCtx, hostCancel := context.WithCancel(c.ctx)
+	c.hostMu.Lock()
+	c.hostCancel[name] = hostCancel
+	c.hostMu.Unlock()
+	go p.Run(hostCtx)
+	return nil
+}
+
+// CrashHost stops the named host's probe, simulating a machine that
+// died without deregistering: its last report ages in the databases
+// until the monitor's expiry sweep (or the selector's MaxStatusAge
+// filter) removes it. Crashing a crashed host is a no-op.
+func (c *Cluster) CrashHost(name string) error {
+	c.hostMu.Lock()
+	cancelProbe, ok := c.hostCancel[name]
+	c.hostCancel[name] = nil
+	c.hostMu.Unlock()
+	if !ok && cancelProbe == nil {
+		if _, known := c.Sources[name]; !known {
+			return fmt.Errorf("testbed: unknown host %q", name)
+		}
+	}
+	if cancelProbe != nil {
+		cancelProbe()
+	}
+	return nil
+}
+
+// RestartHost brings a crashed host back: a fresh probe re-registers
+// it with the monitor on its first report. Restarting a live host is
+// an error — crash it first.
+func (c *Cluster) RestartHost(name string) error {
+	c.hostMu.Lock()
+	cancelProbe, ok := c.hostCancel[name]
+	c.hostMu.Unlock()
+	if ok && cancelProbe != nil {
+		return fmt.Errorf("testbed: host %q is already running", name)
+	}
+	return c.startProbe(name)
 }
 
 // WizardAddr is the UDP address clients send requests to.

@@ -1,0 +1,140 @@
+package transport
+
+// Regression tests for mid-frame stream death. Historically the
+// receiver treated a connection that died halfway through a frame
+// exactly like a clean close — silently — and a failed distributed
+// pull could leak half a snapshot into the merge next to a healthy
+// transmitter's reply.
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+)
+
+// TestChaosReceiverDistinguishesTornFromCleanClose pins the EOF
+// semantics: a transmitter closing between frames is normal churn; a
+// stream dying inside a frame is a fault and must be counted.
+func TestChaosReceiverDistinguishesTornFromCleanClose(t *testing.T) {
+	db := store.New()
+	r, err := NewReceiver(db, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go r.Run(ctx)
+
+	// Clean close: one complete frame, then EOF at a frame boundary.
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := status.Frame{Type: status.TypeSystem, Data: status.MarshalSystemBatch(nil)}
+	if err := status.WriteFrame(conn, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return r.Received() == 1 })
+	if r.Torn() != 0 {
+		t.Fatalf("clean close counted as torn (Torn=%d)", r.Torn())
+	}
+
+	// Torn close: a header promising 100 payload bytes, then death
+	// after 5 — the wire image of a crashed transmitter.
+	conn2, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, 5)
+	hdr[0] = byte(status.TypeSystem)
+	binary.BigEndian.PutUint32(hdr[1:], 100)
+	if _, err := conn2.Write(append(hdr, []byte("stub!")...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return r.Torn() == 1 })
+	if r.Received() != 1 {
+		t.Fatalf("torn frame was applied (Received=%d)", r.Received())
+	}
+}
+
+// TestChaosPullDropsPartialSnapshots starts one healthy passive
+// transmitter and one that dies mid-snapshot; the merged load must
+// contain only the healthy records — the partial server list must not
+// ride along.
+func TestChaosPullDropsPartialSnapshots(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Healthy passive transmitter over a database holding "solid".
+	txDB := store.New()
+	txDB.PutSys(status.ServerStatus{Host: "solid", MemTotal: 1})
+	tx, err := NewTransmitter(txDB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tx.ServePassive(ctx, healthyLn)
+
+	// Broken transmitter: answers the pull with one full frame naming
+	// "phantom", then dies before completing the 3-frame snapshot.
+	brokenLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brokenLn.Close()
+	go func() {
+		c, err := brokenLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			return
+		}
+		if _, err := status.ReadFrame(c); err != nil {
+			return
+		}
+		phantom := status.MarshalSystemBatch([]status.ServerStatus{{Host: "phantom"}})
+		_ = status.WriteFrame(c, status.Frame{Type: status.TypeSystem, Data: phantom})
+		// Start the network frame but die inside it: a header promising
+		// 50 payload bytes followed by 3.
+		hdr := make([]byte, 5)
+		hdr[0] = byte(status.TypeNetwork)
+		binary.BigEndian.PutUint32(hdr[1:], 50)
+		_, _ = c.Write(append(hdr, []byte("die")...))
+	}()
+
+	recvDB := store.New()
+	recv, err := NewReceiver(recvDB, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The broken transmitter first, so its partial batch would land in
+	// the merge ahead of the healthy one if the leak regressed.
+	if err := recv.PullFrom([]string{brokenLn.Addr().String(), healthyLn.Addr().String()}, 2*time.Second); err != nil {
+		t.Fatalf("pull with one healthy transmitter failed: %v", err)
+	}
+	if _, ok := recvDB.GetSys("solid"); !ok {
+		t.Fatal("healthy transmitter's record missing after merge")
+	}
+	if _, ok := recvDB.GetSys("phantom"); ok {
+		t.Fatal("partial snapshot leaked into the merged load")
+	}
+	if recv.Torn() == 0 {
+		t.Error("mid-snapshot pull death was not counted as torn")
+	}
+}

@@ -22,11 +22,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync/atomic"
 	"time"
 
+	"smartsock/internal/retry"
 	"smartsock/internal/status"
 	"smartsock/internal/store"
 )
@@ -36,6 +38,9 @@ type Transmitter struct {
 	db     *store.DB
 	logger *log.Logger
 	sent   atomic.Uint64 // snapshots shipped
+	// Dial opens the push connection; nil means net.DialTimeout. The
+	// chaos layer wraps stall/reset faults around it.
+	Dial func(network, addr string) (net.Conn, error)
 }
 
 // NewTransmitter builds a transmitter over the given database.
@@ -73,13 +78,16 @@ func (t *Transmitter) writeSnapshot(conn net.Conn) error {
 
 // RunActive implements centralized mode: push a snapshot to the
 // receiver every interval until the context is cancelled. Connection
-// failures are logged and retried on the next tick.
+// failures are logged and redialed with bounded exponential backoff —
+// a dead receiver is not hammered every tick, and the first successful
+// push restores the normal cadence.
 func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interval time.Duration) error {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	bo := &retry.Backoff{Base: interval, Max: 8 * interval}
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	var conn net.Conn
 	defer func() {
 		if conn != nil {
@@ -87,8 +95,9 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 		}
 	}()
 	for {
+		wait := interval
 		if conn == nil {
-			c, err := net.DialTimeout("tcp", receiverAddr, 2*time.Second)
+			c, err := t.dial(receiverAddr)
 			if err != nil {
 				t.logf("transmitter: dial %s: %v", receiverAddr, err)
 			} else {
@@ -98,17 +107,37 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 		if conn != nil {
 			if err := t.writeSnapshot(conn); err != nil {
 				t.logf("transmitter: push: %v", err)
-				// The push error is already logged; redial next tick.
+				// The push error is already logged; redial after backoff.
 				_ = conn.Close()
 				conn = nil
+			} else {
+				bo.Reset()
 			}
 		}
+		if conn == nil {
+			wait = bo.Next()
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
+		case <-timer.C:
 		}
 	}
+}
+
+// dial opens the push connection through the configured hook.
+func (t *Transmitter) dial(addr string) (net.Conn, error) {
+	if t.Dial != nil {
+		return t.Dial("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, 2*time.Second)
 }
 
 // ServePassive implements distributed mode: listen for TypeRequest
@@ -158,6 +187,10 @@ type Receiver struct {
 	ln       net.Listener
 	logger   *log.Logger
 	received atomic.Uint64 // frames applied
+	torn     atomic.Uint64 // connections dropped mid-frame
+	// Dial opens distributed-mode pull connections; nil means
+	// net.DialTimeout. The chaos layer wraps faults around it.
+	Dial func(network, addr string) (net.Conn, error)
 }
 
 // NewReceiver binds the receiver's listener; addr may use port 0.
@@ -177,6 +210,12 @@ func (r *Receiver) Addr() string { return r.ln.Addr().String() }
 
 // Received reports how many frames have been applied.
 func (r *Receiver) Received() uint64 { return r.received.Load() }
+
+// Torn reports how many transmitter connections ended mid-frame — a
+// header or payload truncated by a crash, reset or stalled-then-cut
+// link, as opposed to a clean close between frames. Historically both
+// looked like a normal disconnect, hiding real faults from operators.
+func (r *Receiver) Torn() uint64 { return r.torn.Load() }
 
 // Run accepts transmitter connections (centralized mode) until the
 // context is cancelled.
@@ -203,6 +242,16 @@ func (r *Receiver) Run(ctx context.Context) error {
 			for {
 				f, err := status.ReadFrame(c)
 				if err != nil {
+					// io.EOF before a header byte is the transmitter
+					// closing cleanly between snapshots, and net.ErrClosed
+					// is our own shutdown. Anything else — notably a
+					// wrapped io.ErrUnexpectedEOF — means the stream died
+					// mid-frame: count and report it instead of passing it
+					// off as a normal disconnect.
+					if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+						r.torn.Add(1)
+						r.logf("receiver: connection torn mid-frame: %v", err)
+					}
 					return
 				}
 				if err := r.apply(f); err != nil {
@@ -254,12 +303,21 @@ func (r *Receiver) PullFrom(transmitters []string, timeout time.Duration) error 
 	var firstErr error
 	var merged mergedBatches
 	for _, addr := range transmitters {
-		if err := pullOne(addr, timeout, &merged); err != nil {
+		// Each pull fills its own batch, merged only on full success:
+		// a connection dying mid-snapshot must not leak half a server
+		// list into the wizard's view alongside a healthy reply.
+		one, err := r.pullOne(addr, timeout)
+		if err != nil {
 			r.logf("receiver: pull %s: %v", addr, err)
 			if firstErr == nil {
 				firstErr = err
 			}
+			continue
 		}
+		merged.any = true
+		merged.sys = append(merged.sys, one.sys...)
+		merged.net = append(merged.net, one.net...)
+		merged.sec = append(merged.sec, one.sec...)
 	}
 	if merged.any {
 		r.db.Load(merged.sys, merged.net, merged.sec)
@@ -279,48 +337,59 @@ type mergedBatches struct {
 	sec []status.SecLevel
 }
 
-func pullOne(addr string, timeout time.Duration, m *mergedBatches) error {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+func (r *Receiver) pullOne(addr string, timeout time.Duration) (mergedBatches, error) {
+	var m mergedBatches
+	conn, err := r.dialPull(addr, timeout)
 	if err != nil {
-		return err
+		return m, err
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return err
+		return m, err
 	}
 	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeRequest}); err != nil {
-		return err
+		return m, err
 	}
 	for i := 0; i < 3; i++ {
 		f, err := status.ReadFrame(conn)
 		if err != nil {
-			return err
+			if !errors.Is(err, io.EOF) {
+				r.torn.Add(1)
+			}
+			return m, err
 		}
 		switch f.Type {
 		case status.TypeSystem:
 			recs, err := status.UnmarshalSystemBatch(f.Data)
 			if err != nil {
-				return err
+				return m, err
 			}
 			m.sys = append(m.sys, recs...)
 		case status.TypeNetwork:
 			recs, err := status.UnmarshalNetBatch(f.Data)
 			if err != nil {
-				return err
+				return m, err
 			}
 			m.net = append(m.net, recs...)
 		case status.TypeSecurity:
 			recs, err := status.UnmarshalSecBatch(f.Data)
 			if err != nil {
-				return err
+				return m, err
 			}
 			m.sec = append(m.sec, recs...)
 		default:
-			return fmt.Errorf("transport: unexpected frame type %v in pull reply", f.Type)
+			return m, fmt.Errorf("transport: unexpected frame type %v in pull reply", f.Type)
 		}
 	}
-	m.any = true
-	return nil
+	return m, nil
+}
+
+// dialPull opens a pull connection through the configured hook.
+func (r *Receiver) dialPull(addr string, timeout time.Duration) (net.Conn, error) {
+	if r.Dial != nil {
+		return r.Dial("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
 }
 
 func (t *Transmitter) logf(format string, args ...any) {

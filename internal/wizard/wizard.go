@@ -50,10 +50,11 @@ type Config struct {
 
 // Wizard is a running request handler.
 type Wizard struct {
-	cfg      Config
-	conn     *net.UDPConn
-	handled  atomic.Uint64
-	rejected atomic.Uint64
+	cfg        Config
+	conn       *net.UDPConn
+	handled    atomic.Uint64
+	rejected   atomic.Uint64
+	updateFail atomic.Uint64
 
 	varMu     sync.Mutex
 	varCounts map[string]uint64
@@ -106,6 +107,12 @@ func (w *Wizard) Handled() uint64 { return w.handled.Load() }
 
 // Rejected reports the number of requests answered with an error.
 func (w *Wizard) Rejected() uint64 { return w.rejected.Load() }
+
+// UpdateFailures reports how many pre-request database refreshes have
+// failed. The wizard still answers from the data it has ("stale data
+// beats no answer"), so this counter is the only visible trace of a
+// flapping transmitter link — dashboards and chaos tests watch it.
+func (w *Wizard) UpdateFailures() uint64 { return w.updateFail.Load() }
 
 // Run serves requests sequentially — the thesis wizard "processes the
 // user requests sequentially" — until the context is cancelled.
@@ -179,6 +186,7 @@ func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
 	if w.cfg.Update != nil {
 		// Distributed mode: refresh the databases on demand (§3.5.1).
 		if err := w.cfg.Update(ctx); err != nil {
+			w.updateFail.Add(1)
 			w.logf("wizard: update before request: %v", err)
 			// Stale data beats no answer; continue with what we have.
 		}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"smartsock/internal/retry"
 )
 
 // ReliableConn is the Chapter 6 fault-tolerance hook: a connection
@@ -32,6 +34,20 @@ type ReliableConn struct {
 	redials   int
 	// MaxRedials bounds automatic reconnects per operation (default 1).
 	maxRedials int
+	// backoff spaces consecutive redials of one Write so a crashed
+	// server is not redialed in a tight loop.
+	backoff retry.Backoff
+	// sleep is time.Sleep, injectable for tests.
+	sleep func(time.Duration)
+}
+
+// SetMaxRedials changes the automatic reconnect budget per operation.
+// Values below zero disable auto-reconnect entirely — a broken socket
+// then fails the Write and the application decides. The default is 1.
+func (r *ReliableConn) SetMaxRedials(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxRedials = n
 }
 
 // Reliable wraps the i-th socket of the set with suspend/resume and
@@ -128,15 +144,30 @@ func (r *ReliableConn) Suspended() bool {
 	return r.suspended
 }
 
-// Write sends data, transparently redialing once if the socket is
-// broken or was never resumed. The caller's protocol must tolerate
-// the peer seeing a fresh connection (re-issue the current request).
-// The mutex guards only the connection swap, never the write itself,
-// so a stalled peer cannot wedge Suspend/Resume/Close; concurrent
-// writers serialise on the socket as they would on a plain net.Conn.
+// Write sends data, transparently redialing if the socket is broken
+// or was never resumed, up to the SetMaxRedials budget with bounded
+// exponential backoff between attempts. The caller's protocol must
+// tolerate the peer seeing a fresh connection (re-issue the current
+// request). The mutex guards only the connection swap, never the
+// write or the backoff wait, so a stalled peer cannot wedge
+// Suspend/Resume/Close; concurrent writers serialise on the socket as
+// they would on a plain net.Conn.
 func (r *ReliableConn) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	r.backoff.Reset()
+	r.mu.Unlock()
 	for attempt := 0; ; attempt++ {
 		r.mu.Lock()
+		if attempt > 0 {
+			wait := r.backoff.Next()
+			pause := r.sleep
+			if pause == nil {
+				pause = time.Sleep
+			}
+			r.mu.Unlock()
+			pause(wait)
+			r.mu.Lock()
+		}
 		if r.conn == nil || r.suspended {
 			if err := r.reconnectLocked(context.Background()); err != nil {
 				r.mu.Unlock()

@@ -21,8 +21,11 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race -short =="
+# -short skips the multi-process integration tests and the chaos
+# end-to-end tests; CI runs those in a dedicated job with a pinned
+# CHAOS_SEED (and they remain part of plain `go test ./...`).
+go test -race -short ./...
 
 echo "== smartlint =="
 go run ./cmd/smartlint ./...

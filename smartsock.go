@@ -35,6 +35,7 @@ import (
 
 	"smartsock/internal/proto"
 	"smartsock/internal/reqlang"
+	"smartsock/internal/retry"
 )
 
 // Option bits modify wizard behaviour.
@@ -65,6 +66,10 @@ type ClientConfig struct {
 	Retries int
 	// DialTimeout bounds each server connection attempt. Default 5 s.
 	DialTimeout time.Duration
+	// Dial opens the client's sockets — the wizard's UDP socket and
+	// each server's TCP connection. Nil means the net package dialers.
+	// Chaos tests inject lossy wrappers here.
+	Dial func(network, addr string) (net.Conn, error)
 }
 
 // Client talks to one wizard.
@@ -150,17 +155,29 @@ func (c *Client) RequestServers(ctx context.Context, requirement string, n int, 
 }
 
 // exchange performs the UDP request/reply with sequence matching and
-// retries (§3.6.2 steps 2–3).
+// retries (§3.6.2 steps 2–3). Resends are spaced by a bounded,
+// jittered backoff so a fleet of clients retrying a lost wizard does
+// not resynchronise into request storms.
 func (c *Client) exchange(ctx context.Context, req *proto.Request) (*proto.Reply, error) {
-	conn, err := net.Dial("udp", c.wizard)
+	conn, err := c.dial("udp", c.wizard)
 	if err != nil {
 		return nil, fmt.Errorf("smartsock: dial wizard: %w", err)
 	}
 	defer conn.Close()
 	msg := proto.MarshalRequest(req)
 	buf := make([]byte, 64*1024)
+	bo := &retry.Backoff{Base: 50 * time.Millisecond, Max: c.cfg.Timeout}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(bo.Next())
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -263,16 +280,33 @@ func (c *Client) Connect(ctx context.Context, requirement string, n int, opts ..
 		return nil, err
 	}
 	set := &SocketSet{dial: c.dialServer}
-	for _, addr := range addrs {
-		if set.Len() == n {
-			break
+	var failed []string
+	dialRound := func(addrs []string) {
+		for _, addr := range addrs {
+			if set.Len() == n {
+				return
+			}
+			if containsAddr(set.addrs, addr) || containsAddr(failed, addr) {
+				continue
+			}
+			conn, err := c.dialServer(ctx, addr)
+			if err != nil {
+				failed = append(failed, addr)
+				continue // try the next candidate
+			}
+			set.conns = append(set.conns, conn)
+			set.addrs = append(set.addrs, addr)
 		}
-		conn, err := c.dialServer(ctx, addr)
-		if err != nil {
-			continue // try the next candidate
+	}
+	dialRound(addrs)
+	if set.Len() < n && len(failed) > 0 && ctx.Err() == nil {
+		// Second selection round (§3.6.2's recovery path): tell the
+		// wizard which servers refused connections via the user-side
+		// denied-host list and ask again. The wizard's view lags real
+		// liveness by up to a status epoch; this closes the gap.
+		if addrs2, err := c.RequestServers(ctx, denyHosts(requirement, failed), ask, opt|OptPartialOK); err == nil {
+			dialRound(addrs2)
 		}
-		set.conns = append(set.conns, conn)
-		set.addrs = append(set.addrs, addr)
 	}
 	if set.Len() < n && opt&OptPartialOK == 0 {
 		set.Close()
@@ -284,9 +318,42 @@ func (c *Client) Connect(ctx context.Context, requirement string, n int, opts ..
 	return set, nil
 }
 
+// denyHosts appends user_denied_host lines for up to 5 failed servers
+// (the user-side list holds five slots, Appendix B.2).
+func denyHosts(requirement string, failed []string) string {
+	out := requirement
+	for i, addr := range failed {
+		if i == 5 {
+			break
+		}
+		out += fmt.Sprintf("\nuser_denied_host%d = %q", i+1, addr)
+	}
+	return out
+}
+
+func containsAddr(list []string, addr string) bool {
+	for _, a := range list {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
 func (c *Client) dialServer(ctx context.Context, addr string) (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial("tcp", addr)
+	}
 	d := net.Dialer{Timeout: c.cfg.DialTimeout}
 	return d.DialContext(ctx, "tcp", addr)
+}
+
+// dial opens the wizard socket through the configured hook.
+func (c *Client) dial(network, addr string) (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(network, addr)
+	}
+	return net.Dial(network, addr)
 }
 
 // randomSeq draws the request sequence number from crypto/rand so
