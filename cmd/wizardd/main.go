@@ -39,6 +39,9 @@ func main() {
 		localMon    = flag.String("local-monitor", "", "name of the client-side network monitor")
 		groupsFlag  = flag.String("groups", "", "host→group map as host=group,host=group")
 		tplFile     = flag.String("templates", "", "requirement template file ([name] sections, §3.6.1)")
+		workers     = flag.Int("workers", 1, "concurrent request handlers; 1 is the thesis-faithful sequential mode")
+		cacheSize   = flag.Int("cache-size", 0, "compiled-requirement cache entries (0: default, <0: disable)")
+		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache")
 		pulls       addrList
 	)
 	flag.Var(&pulls, "pull", "passive transmitter to pull from on each request (repeatable; enables distributed mode)")
@@ -93,17 +96,25 @@ func main() {
 		}
 		logger.Printf("loaded %d requirement templates from %s", len(templates), *tplFile)
 	}
+	if *compat {
+		// §3.6.1 verbatim: one sequential handler, every requirement
+		// parsed on arrival.
+		*workers = 1
+		*cacheSize = -1
+	}
 	wz, err := wizard.New(wizard.Config{
 		Addr:      *listen,
 		Selector:  sel,
 		Update:    update,
 		Templates: templates,
 		Logger:    logger,
+		Workers:   *workers,
+		CacheSize: *cacheSize,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("wizard on %s", wz.Addr())
+	logger.Printf("wizard on %s (%d worker(s))", wz.Addr(), max(*workers, 1))
 	go wz.Run(ctx)
 	<-ctx.Done()
 }

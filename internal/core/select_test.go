@@ -13,7 +13,7 @@ import (
 	"smartsock/internal/sysinfo"
 )
 
-func mustProg(t *testing.T, src string) *reqlang.Program {
+func mustProg(t testing.TB, src string) *reqlang.Program {
 	t.Helper()
 	p, err := reqlang.Parse(src)
 	if err != nil {
@@ -27,7 +27,7 @@ func idleHost(db *store.DB, name string, bogomips float64, memMB uint64) {
 	db.PutSys(sysinfo.Idle(name, bogomips, memMB))
 }
 
-func newSelector(t *testing.T, db *store.DB, cfg Config) *Selector {
+func newSelector(t testing.TB, db *store.DB, cfg Config) *Selector {
 	t.Helper()
 	s, err := New(db, cfg)
 	if err != nil {

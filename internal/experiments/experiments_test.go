@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -30,6 +31,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"ablation.probesize", "ablation.encoding", "ablation.transport",
 		"ablation.reporting", "ablation.sequential",
 		"chaos.loss",
+		"wizard.qps",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -305,5 +307,38 @@ func TestDuplicateRegistration(t *testing.T) {
 		t.Fatal("Run accepted an ambiguously registered id")
 	} else if !strings.Contains(err.Error(), "3 times") {
 		t.Fatalf("Run error does not count the registrations: %v", err)
+	}
+}
+
+// TestWizardQPSFastPathWins runs the storm experiment in quick mode
+// and checks the structural claims: the cached configurations hit the
+// requirement cache and out-serve the thesis-faithful sequential
+// uncached wizard.
+func TestWizardQPSFastPathWins(t *testing.T) {
+	tb, err := Run("wizard.qps", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(tb.Rows))
+	}
+	qps := func(row []string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(row[3], "%f", &v); err != nil {
+			t.Fatalf("bad req/s cell %q: %v", row[3], err)
+		}
+		return v
+	}
+	seq, cached := qps(tb.Rows[0]), qps(tb.Rows[1])
+	if cached <= seq {
+		t.Errorf("seq/cached (%.0f req/s) does not beat seq/uncached (%.0f req/s)", cached, seq)
+	}
+	if hits := tb.Rows[0][4]; hits != "0.0%" {
+		t.Errorf("uncached config reports cache hits: %s", hits)
+	}
+	for _, row := range tb.Rows[1:] {
+		if row[4] == "0.0%" {
+			t.Errorf("config %s never hit the requirement cache", row[0])
+		}
 	}
 }

@@ -1,0 +1,168 @@
+package experiments
+
+// The wizard fast-path experiment: request-storm throughput of the
+// §3.6.1 wizard under its three serving configurations. DESIGN.md's
+// fast-path section and EXPERIMENTS.md's wizard.qps entry carry the
+// measured numbers.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"smartsock/internal/core"
+	"smartsock/internal/proto"
+	"smartsock/internal/store"
+	"smartsock/internal/sysinfo"
+	"smartsock/internal/wizard"
+)
+
+func init() {
+	register("wizard.qps", wizardQPS)
+}
+
+// stormRequirements is the cached request mix: a handful of distinct
+// requirement texts, as a fleet of applications each reusing its own
+// requirement would produce.
+var stormRequirements = []string{
+	"host_cpu_bogomips > 3000\nhost_cpu_free > 0.5\nhost_memory_free > 5\nscore = host_cpu_bogomips * host_cpu_free\nscore\n",
+	"host_cpu_bogomips > 2000\n",
+	"host_memory_free > 50\nhost_cpu_free > 0.3\n",
+	"host_system_load1 < 2\nhost_cpu_bogomips > 1500\n",
+	"host_cpu_free > 0.8\nhost_memory_free > 10\n",
+}
+
+// wizardQPS storms one in-process wizard per configuration over real
+// UDP sockets and reports end-to-end request throughput:
+//
+//   - seq/uncached: the thesis-faithful serving model (wizardd
+//     -compat) — one sequential handler, every requirement re-parsed;
+//   - seq/cached: the compiled-requirement cache alone;
+//   - workers8/cached: the full fast path.
+//
+// Requests draw from a fixed five-requirement mix, so after the first
+// round every text is a cache hit in the cached configurations.
+func wizardQPS(o Options) (*Table, error) {
+	requests := 20000
+	if o.Quick {
+		requests = 2000
+	}
+	const clients = 4
+
+	db := store.New()
+	for i := 0; i < 11; i++ {
+		db.PutSys(sysinfo.Idle(fmt.Sprintf("node-%02d", i), 1000+float64(i)*550, 128<<(i%4)))
+	}
+
+	datagrams := make([][]byte, len(stormRequirements))
+	for i, detail := range stormRequirements {
+		datagrams[i] = proto.MarshalRequest(&proto.Request{
+			Seq: uint32(i), ServerNum: 4,
+			Option: proto.OptPartialOK | proto.OptRankByExpr,
+			Detail: detail,
+		})
+	}
+
+	configs := []struct {
+		label     string
+		workers   int
+		cacheSize int
+	}{
+		{"seq/uncached (thesis §3.6.1)", 1, -1},
+		{"seq/cached", 1, 0},
+		{"workers8/cached", 8, 0},
+	}
+	t := &Table{
+		ID:      "wizard.qps",
+		Title:   "Wizard request-storm throughput by serving configuration",
+		Columns: []string{"config", "requests", "elapsed", "req/s", "cache hits"},
+	}
+	for _, cfg := range configs {
+		qps, hitRate, elapsed, err := stormOnce(db, cfg.workers, cfg.cacheSize, requests, clients, datagrams)
+		if err != nil {
+			return nil, fmt.Errorf("wizard.qps %s: %w", cfg.label, err)
+		}
+		t.AddRow(cfg.label, fmt.Sprintf("%d", requests),
+			fmt.Sprintf("%.2fs", elapsed.Seconds()),
+			fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.1f%%", hitRate*100))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d ping-pong UDP clients, %d-host table, five-requirement mix", clients, 11),
+		"single-core containers bound the end-to-end gain: ~60% of fast-path CPU is datagram syscalls (see EXPERIMENTS.md)",
+	)
+	return t, nil
+}
+
+// stormOnce boots a wizard in the given configuration, fires the
+// request mix from ping-pong clients and reports throughput plus the
+// requirement-cache hit rate.
+func stormOnce(db *store.DB, workers, cacheSize, requests, clients int, datagrams [][]byte) (qps, hitRate float64, elapsed time.Duration, err error) {
+	sel, err := core.New(db, core.Config{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	w, err := wizard.New(wizard.Config{
+		Addr:      "127.0.0.1:0",
+		Selector:  sel,
+		Workers:   workers,
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = w.Run(ctx) }()
+
+	errs := make(chan error, clients)
+	counts := make([]int, clients)
+	for i := 0; i < requests; i++ {
+		counts[i%clients]++
+	}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c, count int) {
+			conn, err := net.Dial("udp", w.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 64*1024)
+			for i := 0; i < count; i++ {
+				if _, err := conn.Write(datagrams[(c+i)%len(datagrams)]); err != nil {
+					errs <- err
+					return
+				}
+				if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := conn.Read(buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(c, counts[c])
+	}
+	for c := 0; c < clients; c++ {
+		if cerr := <-errs; cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	elapsed = time.Since(start)
+	cancel()
+	<-done
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	hits, misses := w.CacheStats()
+	if total := hits + misses; total > 0 {
+		hitRate = float64(hits) / float64(total)
+	}
+	return float64(requests) / elapsed.Seconds(), hitRate, elapsed, nil
+}

@@ -19,7 +19,11 @@
 //   - errdrop: no discarded error from Close/SetDeadline/
 //     SetReadDeadline/SetWriteDeadline/Flush on network types in
 //     library code (`defer c.Close()` and explicit `_ = c.Close()`
-//     are accepted).
+//     are accepted);
+//   - parsecache: no direct reqlang.Parse call in the wizard request
+//     path (internal/wizard, internal/core) — requirement compiles
+//     there must go through the bounded reqlang.Cache so request
+//     storms parse each text once.
 //
 // A finding may be suppressed with a directive comment on the same
 // line or the line directly above it:
@@ -102,7 +106,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop}
+	return []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache}
 }
 
 // ByName returns the analyzer with the given name, if any.

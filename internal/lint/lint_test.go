@@ -83,6 +83,13 @@ func DialTimeout(network, address string, timeout time.Duration) (Conn, error) {
 func Listen(network, address string) (Listener, error) { return nil, nil }
 func JoinHostPort(host, port string) string { return "" }
 `,
+	"smartsock/internal/reqlang": `package reqlang
+type Program struct{ src string }
+func Parse(src string) (*Program, error) { return &Program{src: src}, nil }
+type Cache struct{ max int }
+func NewCache(max int) *Cache { return &Cache{max: max} }
+func (c *Cache) Get(src string) (*Program, error) { return Parse(src) }
+`,
 }
 
 // stubImporter type-checks stub packages on demand.
@@ -436,6 +443,54 @@ func drop(c net.Conn) { c.Close() }
 `,
 			want: nil,
 		},
+		// ---- parsecache ------------------------------------------------
+		{
+			name:     "parsecache/direct parse on the request path",
+			analyzer: "parsecache",
+			pkgPath:  "smartsock/internal/wizard",
+			src: `package wizard
+import "smartsock/internal/reqlang"
+func handle(detail string) error {
+	_, err := reqlang.Parse(detail)
+	return err
+}
+`,
+			want: []int{4},
+		},
+		{
+			name:     "parsecache/cache get is the approved route",
+			analyzer: "parsecache",
+			pkgPath:  "smartsock/internal/wizard",
+			src: `package wizard
+import "smartsock/internal/reqlang"
+var cache = reqlang.NewCache(16)
+func handle(detail string) error {
+	_, err := cache.Get(detail)
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "parsecache/core is in scope too",
+			analyzer: "parsecache",
+			pkgPath:  "smartsock/internal/core",
+			src: `package core
+import "smartsock/internal/reqlang"
+func compile(src string) { reqlang.Parse(src) }
+`,
+			want: []int{3},
+		},
+		{
+			name:     "parsecache/packages off the request path may parse",
+			analyzer: "parsecache",
+			pkgPath:  "smartsock/internal/shaper",
+			src: `package shaper
+import "smartsock/internal/reqlang"
+func compile(src string) { reqlang.Parse(src) }
+`,
+			want: nil,
+		},
 	}
 
 	for _, tc := range cases {
@@ -503,7 +558,7 @@ func b() {}
 // TestSuiteNames pins the analyzer set: CHANGING THIS LIST means
 // updating README.md's correctness-tooling section too.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop"}
+	want := []string{"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache"}
 	as := lint.Analyzers()
 	if len(as) != len(want) {
 		t.Fatalf("%d analyzers, want %d", len(as), len(want))

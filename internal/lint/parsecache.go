@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// parseCacheScope lists the packages that form the wizard's request
+// path. Compiling a requirement there must go through reqlang.Cache —
+// a direct reqlang.Parse call re-parses on every request and silently
+// undoes the storm fast path. Load-time validation (template files)
+// is exempt via an explicit //lint:ignore with its reason.
+var parseCacheScope = map[string]bool{
+	"smartsock/internal/wizard": true,
+	"smartsock/internal/core":   true,
+}
+
+// ParseCache reports direct reqlang.Parse calls inside the wizard
+// request path.
+var ParseCache = &Analyzer{
+	Name: "parsecache",
+	Doc:  "request-path requirement compiles must go through reqlang.Cache, not reqlang.Parse",
+	Run: func(pass *Pass) {
+		if !parseCacheScope[pass.Pkg.Path] {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := calleeFrom(pass.Pkg.Info, call, "smartsock/internal/reqlang"); ok && name == "Parse" {
+					pass.Reportf(call.Pos(), "reqlang.Parse on the wizard request path; use reqlang.Cache.Get so repeated requirements compile once")
+				}
+				return true
+			})
+		}
+	},
+}

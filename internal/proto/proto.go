@@ -91,6 +91,18 @@ func UnmarshalRequest(b []byte) (*Request, error) {
 // MarshalReply encodes a reply datagram. Server names may not contain
 // newlines; they are carried newline-separated after the header.
 func MarshalReply(r *Reply) ([]byte, error) {
+	size := 9 + len(r.Err)
+	for _, s := range r.Servers {
+		size += len(s) + 1
+	}
+	return AppendReply(make([]byte, 0, size), r)
+}
+
+// AppendReply encodes a reply datagram onto b and returns the
+// extended slice. The wizard's serve loops pass a per-worker scratch
+// buffer so a request storm marshals replies without allocating; the
+// bytes produced are identical to MarshalReply's.
+func AppendReply(b []byte, r *Reply) ([]byte, error) {
 	if len(r.Servers) > MaxServers {
 		return nil, fmt.Errorf("proto: %d servers exceeds reply limit %d", len(r.Servers), MaxServers)
 	}
@@ -102,14 +114,18 @@ func MarshalReply(r *Reply) ([]byte, error) {
 	if strings.ContainsAny(r.Err, "\n") {
 		return nil, fmt.Errorf("proto: error text contains newline")
 	}
-	body := strings.Join(r.Servers, "\n")
-	b := make([]byte, 0, 16+len(body)+len(r.Err))
 	b = append(b, msgReply)
 	b = binary.BigEndian.AppendUint32(b, r.Seq)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Servers)))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Err)))
 	b = append(b, r.Err...)
-	return append(b, body...), nil
+	for i, s := range r.Servers {
+		if i > 0 {
+			b = append(b, '\n')
+		}
+		b = append(b, s...)
+	}
+	return b, nil
 }
 
 // UnmarshalReply decodes a reply datagram.

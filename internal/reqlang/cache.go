@@ -1,0 +1,120 @@
+package reqlang
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheSize is the compiled-program cache bound used when a
+// caller does not pick one. Template storms repeat a handful of
+// requirement texts, so a few hundred entries covers every template
+// plus a healthy working set of ad-hoc requirements.
+const DefaultCacheSize = 256
+
+// Cache is a bounded LRU of compiled requirement programs keyed by
+// source text. The wizard answers request storms that repeat the same
+// requirement (predefined templates, retried requests, fleets of
+// identical clients); compiling once and sharing the immutable
+// *Program across requests removes the parser from the hot path.
+//
+// Parse failures are cached too: a storm of the same malformed
+// requirement would otherwise re-lex it on every datagram.
+//
+// A Cache is safe for concurrent use. Programs it returns are shared;
+// they are immutable after Parse, so concurrent Eval calls are safe.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // source text -> element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	src  string
+	prog *Program
+	err  error
+}
+
+// NewCache builds a cache bounded to max compiled programs. A
+// non-positive max disables caching entirely: Get compiles on every
+// call (the seed behaviour, kept for comparison benchmarks).
+func NewCache(max int) *Cache {
+	c := &Cache{max: max}
+	if max > 0 {
+		c.ll = list.New()
+		c.entries = make(map[string]*list.Element, max)
+	}
+	return c
+}
+
+// Get returns the compiled program for src, parsing it at most once
+// while it stays resident. The parse itself runs outside the cache
+// lock so a storm of distinct texts does not serialise on it.
+func (c *Cache) Get(src string) (*Program, error) {
+	if c == nil || c.max <= 0 {
+		if c != nil {
+			c.misses.Add(1)
+		}
+		return Parse(src)
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[src]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.prog, e.err
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	prog, err := Parse(src)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[src]; ok {
+		// Another goroutine compiled the same text while we parsed;
+		// keep its entry so all callers share one Program.
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		return e.prog, e.err
+	}
+	c.entries[src] = c.ll.PushFront(&cacheEntry{src: src, prog: prog, err: err})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).src)
+	}
+	return prog, err
+}
+
+// Stats reports the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of resident compiled programs.
+func (c *Cache) Len() int {
+	if c == nil || c.max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every resident program (counters are kept). The wizard
+// calls this on template reload: entries are keyed by requirement
+// text, so stale entries can never be *served* after a reload — purge
+// just stops dead template bodies from occupying cache slots.
+func (c *Cache) Purge() {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.entries)
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Value is the tagged union the evaluator computes: every expression
@@ -103,11 +104,24 @@ func IsUserParam(name string) bool {
 	return strings.HasPrefix(name, deniedPrefix) || strings.HasPrefix(name, preferredPrefix)
 }
 
-// evalState carries per-evaluation mutable bindings.
+// evalState carries per-evaluation mutable bindings. States are
+// pooled: the wizard evaluates one program against every candidate
+// server, and allocating two maps per server per request dominated
+// the selection profile. The maps are created lazily (most
+// requirements assign nothing) and cleared on release.
 type evalState struct {
 	env     *Env
 	temps   map[string]Value
 	uparams map[string]Value
+}
+
+var statePool = sync.Pool{New: func() any { return new(evalState) }}
+
+func (st *evalState) release() {
+	st.env = nil
+	clear(st.temps)
+	clear(st.uparams)
+	statePool.Put(st)
 }
 
 // Eval runs the program against one server's environment, following
@@ -116,11 +130,9 @@ type evalState struct {
 // user-side parameters record denied/preferred hosts; temporary
 // variables persist across lines within one evaluation.
 func (p *Program) Eval(env *Env) Result {
-	st := &evalState{
-		env:     env,
-		temps:   make(map[string]Value),
-		uparams: make(map[string]Value),
-	}
+	st := statePool.Get().(*evalState)
+	st.env = env
+	defer st.release()
 	res := Result{Qualified: true}
 	for i := range p.Stmts {
 		stmt := &p.Stmts[i]
@@ -258,8 +270,14 @@ func (st *evalState) assign(a *assignNode) (Value, error) {
 		if !v.IsStr {
 			return Value{}, fmt.Errorf("user parameter %q needs a host name or address, got %s", a.name, v)
 		}
+		if st.uparams == nil {
+			st.uparams = make(map[string]Value, 4)
+		}
 		st.uparams[a.name] = v
 		return v, nil
+	}
+	if st.temps == nil {
+		st.temps = make(map[string]Value, 4)
 	}
 	st.temps[a.name] = v
 	return v, nil

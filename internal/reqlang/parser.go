@@ -98,6 +98,12 @@ type Statement struct {
 type Program struct {
 	Stmts []Statement
 	src   string
+
+	// Variable metadata resolved once at parse time, so the
+	// per-request and per-server hot paths never re-walk the AST.
+	free      []string        // free variables, sorted
+	mentioned []string        // read or assigned identifiers, sorted
+	refs      map[string]bool // set view of mentioned
 }
 
 // Source returns the original requirement text.
@@ -175,6 +181,7 @@ func Parse(src string) (*Program, error) {
 			Src:     raw,
 		})
 	}
+	prog.resolveVars()
 	return prog, nil
 }
 

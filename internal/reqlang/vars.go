@@ -2,37 +2,80 @@ package reqlang
 
 import "sort"
 
-// FreeVariables lists the variables a program reads without first
-// assigning them — the server-side parameters (plus any typos) its
-// qualification depends on. The wizard uses this to learn which
-// parameter groups applications actually ask about, so probes can be
-// told to measure and ship only those (the Chapter 6
-// selected-parameters extension).
+// resolveVars walks the AST once, at parse time, and records the two
+// variable sets the rest of the system keys off:
+//
+//   - free variables: read before any assignment — the server-side
+//     parameters (plus typos) qualification depends on;
+//   - mentioned variables: read *or* assigned anywhere — the names an
+//     evaluation environment could possibly be asked about, which lets
+//     the selector populate only those bindings per candidate server
+//     instead of the full parameter table.
 //
 // User-side parameters (user_denied_host*/user_preferred_host*) and
-// the built-in constants are not reported: they never come from
-// status reports.
-func (p *Program) FreeVariables() []string {
+// the built-in constants appear in neither set: they never come from
+// status reports and are resolved inside the evaluator.
+func (p *Program) resolveVars() {
 	assigned := map[string]bool{}
 	free := map[string]bool{}
+	mentioned := map[string]bool{}
 	for _, stmt := range p.Stmts {
-		collectFree(stmt.Expr, assigned, free)
+		collectVars(stmt.Expr, assigned, free, mentioned)
 	}
-	out := make([]string, 0, len(free))
-	for name := range free {
+	p.free = sortedKeys(free)
+	p.mentioned = sortedKeys(mentioned)
+	p.refs = mentioned
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-func collectFree(n node, assigned, free map[string]bool) {
+// FreeVariables lists the variables the program reads without first
+// assigning them. The wizard uses this to learn which parameter
+// groups applications actually ask about, so probes can be told to
+// measure and ship only those (the Chapter 6 selected-parameters
+// extension). The returned slice is a copy the caller may keep.
+func (p *Program) FreeVariables() []string {
+	return append([]string(nil), p.free...)
+}
+
+// FreeVars is the allocation-free variant of FreeVariables for hot
+// paths: the returned slice is shared with the Program and must be
+// treated as read-only.
+func (p *Program) FreeVars() []string { return p.free }
+
+// MentionedVars lists every identifier the program reads or assigns
+// (excluding user-side parameters and built-in constants), sorted.
+// The selector uses it to bind only the status variables an
+// evaluation can actually touch. The returned slice is shared with
+// the Program and must be treated as read-only.
+func (p *Program) MentionedVars() []string { return p.mentioned }
+
+// References reports whether the program reads or assigns the named
+// variable anywhere. Resolved at parse time; O(1) per call.
+func (p *Program) References(name string) bool { return p.refs[name] }
+
+func collectVars(n node, assigned, free, mentioned map[string]bool) {
 	switch v := n.(type) {
 	case *varNode:
-		if !assigned[v.name] && !IsUserParam(v.name) {
-			if _, isConst := constants[v.name]; !isConst {
-				free[v.name] = true
-			}
+		if IsUserParam(v.name) {
+			return
+		}
+		if _, isConst := constants[v.name]; isConst {
+			return
+		}
+		mentioned[v.name] = true
+		if !assigned[v.name] {
+			free[v.name] = true
 		}
 	case *assignNode:
 		// A bare word on the RHS of a user-parameter assignment is a
@@ -42,18 +85,23 @@ func collectFree(n node, assigned, free map[string]bool) {
 			return
 		}
 		// RHS evaluates before the assignment takes effect.
-		collectFree(v.rhs, assigned, free)
+		collectVars(v.rhs, assigned, free, mentioned)
 		assigned[v.name] = true
+		if !IsUserParam(v.name) {
+			if _, isConst := constants[v.name]; !isConst {
+				mentioned[v.name] = true
+			}
+		}
 	case *unaryNode:
-		collectFree(v.x, assigned, free)
+		collectVars(v.x, assigned, free, mentioned)
 	case *parenNode:
-		collectFree(v.x, assigned, free)
+		collectVars(v.x, assigned, free, mentioned)
 	case *binNode:
-		collectFree(v.l, assigned, free)
-		collectFree(v.r, assigned, free)
+		collectVars(v.l, assigned, free, mentioned)
+		collectVars(v.r, assigned, free, mentioned)
 	case *callNode:
 		for _, a := range v.args {
-			collectFree(a, assigned, free)
+			collectVars(a, assigned, free, mentioned)
 		}
 	}
 }

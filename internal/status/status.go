@@ -126,6 +126,65 @@ func (s *ServerStatus) Vars() map[string]float64 {
 	}
 }
 
+// Var returns the value of one named server-side variable, the
+// per-name view of Vars. The selector uses it to bind only the
+// variables a compiled requirement actually mentions, instead of
+// materialising the full 25-entry table per candidate server.
+func (s *ServerStatus) Var(name string) (float64, bool) {
+	const mb = 1024 * 1024
+	switch name {
+	case "host_system_load1":
+		return s.Load1, true
+	case "host_system_load5":
+		return s.Load5, true
+	case "host_system_load15":
+		return s.Load15, true
+	case "host_cpu_user":
+		return s.CPUUser, true
+	case "host_cpu_nice":
+		return s.CPUNice, true
+	case "host_cpu_system":
+		return s.CPUSystem, true
+	case "host_cpu_idle":
+		return s.CPUIdle, true
+	case "host_cpu_free":
+		return s.CPUFree(), true
+	case "host_cpu_bogomips":
+		return s.Bogomips, true
+	case "host_memory_total":
+		return float64(s.MemTotal) / mb, true
+	case "host_memory_used":
+		return float64(s.MemUsed) / mb, true
+	case "host_memory_free":
+		return float64(s.MemFree) / mb, true
+	case "host_memory_total_bytes":
+		return float64(s.MemTotal), true
+	case "host_memory_used_bytes":
+		return float64(s.MemUsed), true
+	case "host_memory_free_bytes":
+		return float64(s.MemFree), true
+	case "host_disk_allreq":
+		return s.DiskAllReq, true
+	case "host_disk_rreq":
+		return s.DiskRReq, true
+	case "host_disk_rblocks":
+		return s.DiskRBlocks, true
+	case "host_disk_wreq":
+		return s.DiskWReq, true
+	case "host_disk_wblocks":
+		return s.DiskWBlocks, true
+	case "host_network_rbytesps":
+		return s.NetRBytesPS, true
+	case "host_network_rpacketsps":
+		return s.NetRPacketsPS, true
+	case "host_network_tbytesps":
+		return s.NetTBytesPS, true
+	case "host_network_tpacketsps":
+		return s.NetTPacketsPS, true
+	}
+	return 0, false
+}
+
 // reportVersion is the leading tag of the ASCII probe report. Bump it
 // when fields change; decoders reject unknown versions rather than
 // guessing.

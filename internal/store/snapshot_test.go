@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"smartsock/internal/status"
+)
+
+func TestSysViewSortedAndShared(t *testing.T) {
+	db := New()
+	for _, h := range []string{"carol", "alice", "bob"} {
+		db.PutSys(host(h, 0.1))
+	}
+	v1 := db.SysView()
+	if len(v1.Records) != 3 {
+		t.Fatalf("%d records, want 3", len(v1.Records))
+	}
+	for i, want := range []string{"alice", "bob", "carol"} {
+		if got := v1.Records[i].Status.Host; got != want {
+			t.Errorf("record %d is %q, want %q", i, got, want)
+		}
+	}
+	// No mutation between reads: same snapshot pointer, no rebuild.
+	if v2 := db.SysView(); v2 != v1 {
+		t.Error("second SysView rebuilt the snapshot without a mutation")
+	}
+}
+
+func TestSysViewEpochAdvancesOnMutation(t *testing.T) {
+	db := New()
+	db.PutSys(host("alice", 0.1))
+	v1 := db.SysView()
+
+	db.PutSys(host("bob", 0.2))
+	v2 := db.SysView()
+	if v2 == v1 || v2.Epoch <= v1.Epoch {
+		t.Fatalf("PutSys did not advance the snapshot: epoch %d → %d", v1.Epoch, v2.Epoch)
+	}
+	// The old snapshot is immutable: still one record, still alice.
+	if len(v1.Records) != 1 || v1.Records[0].Status.Host != "alice" {
+		t.Errorf("old snapshot mutated: %+v", v1.Records)
+	}
+	if len(v2.Records) != 2 {
+		t.Errorf("new snapshot has %d records, want 2", len(v2.Records))
+	}
+	if db.SysEpoch() != v2.Epoch {
+		t.Errorf("SysEpoch = %d, snapshot epoch = %d", db.SysEpoch(), v2.Epoch)
+	}
+}
+
+func TestSysViewInvalidatedByExpireAndLoad(t *testing.T) {
+	clock := newFakeClock()
+	db := NewWithClock(clock.Now)
+	db.PutSys(host("alice", 0.1))
+	clock.Advance(10 * time.Second)
+	db.PutSys(host("bob", 0.2))
+	v1 := db.SysView()
+
+	// Expiry that removes a record must invalidate.
+	if gone := db.ExpireSys(5 * time.Second); len(gone) != 1 || gone[0] != "alice" {
+		t.Fatalf("ExpireSys removed %v, want [alice]", gone)
+	}
+	v2 := db.SysView()
+	if v2.Epoch <= v1.Epoch {
+		t.Error("ExpireSys that removed a record did not bump the epoch")
+	}
+	if len(v2.Records) != 1 || v2.Records[0].Status.Host != "bob" {
+		t.Errorf("post-expiry snapshot: %+v", v2.Records)
+	}
+
+	// Expiry that removes nothing must not invalidate: the wizard's
+	// hot path keeps its cached snapshot across no-op sweeps.
+	if gone := db.ExpireSys(5 * time.Second); len(gone) != 0 {
+		t.Fatalf("second ExpireSys removed %v, want none", gone)
+	}
+	if v3 := db.SysView(); v3 != v2 {
+		t.Error("no-op ExpireSys invalidated the snapshot")
+	}
+
+	// Load with a sys section replaces the table and must invalidate.
+	db.Load([]status.ServerStatus{host("carol", 0.3)}, nil, nil)
+	v4 := db.SysView()
+	if v4.Epoch <= v2.Epoch {
+		t.Error("Load did not bump the epoch")
+	}
+	if len(v4.Records) != 1 || v4.Records[0].Status.Host != "carol" {
+		t.Errorf("post-load snapshot: %+v", v4.Records)
+	}
+
+	// Load with nil sys leaves the section (and its snapshot) alone.
+	db.Load(nil, nil, nil)
+	if db.SysView() != v4 {
+		t.Error("Load(nil sys) invalidated the snapshot")
+	}
+}
+
+func TestFreshSysMatchesSnapshotCutoff(t *testing.T) {
+	clock := newFakeClock()
+	db := NewWithClock(clock.Now)
+	db.PutSys(host("stale", 0.1))
+	clock.Advance(30 * time.Second)
+	db.PutSys(host("fresh", 0.2))
+
+	got := db.FreshSys(10 * time.Second)
+	if len(got) != 1 || got[0].Status.Host != "fresh" {
+		t.Fatalf("FreshSys = %+v, want just fresh", got)
+	}
+	// Sys and FreshSys both derive from one snapshot, so the counts a
+	// selector reports can never disagree.
+	if total := len(db.Sys()); total != 2 {
+		t.Fatalf("Sys has %d records, want 2", total)
+	}
+}
+
+func TestSysViewConcurrentReadersAndWriters(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db.PutSys(host(fmt.Sprintf("host%d-%d", g, i%8), float64(i)))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			for i := 0; i < 2000; i++ {
+				v := db.SysView()
+				if v.Epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", v.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = v.Epoch
+				for j := 1; j < len(v.Records); j++ {
+					if v.Records[j-1].Status.Host >= v.Records[j].Status.Host {
+						t.Error("snapshot records out of order")
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -14,6 +14,7 @@ package store
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smartsock/internal/status"
@@ -40,6 +41,19 @@ type SecRecord struct {
 	UpdatedAt time.Time
 }
 
+// SysSnapshot is an immutable, epoch-versioned view of the server
+// status table. Writers publish a new snapshot when the table
+// mutates; readers grab the current one with a single atomic load, so
+// the selection hot path evaluates candidates without copying the
+// table or holding any lock. Records is sorted by host and shared:
+// callers must treat it as read-only.
+type SysSnapshot struct {
+	// Epoch increments on every mutation of the sys table; two
+	// snapshots with the same epoch have identical contents.
+	Epoch   uint64
+	Records []SysRecord
+}
+
 // DB is the full status database shared by the monitors, the
 // transmitter/receiver pair and the wizard.
 type DB struct {
@@ -48,6 +62,14 @@ type DB struct {
 	sys   map[string]SysRecord // keyed by server host
 	net   map[string]NetRecord // keyed by From+"→"+To
 	sec   map[string]SecRecord // keyed by host
+
+	// epoch counts sys mutations; guarded by mu.
+	epoch uint64
+	// sysSnap is the current copy-on-write view of sys; nil when a
+	// mutation has invalidated it. Rebuilt lazily on the next read,
+	// which coalesces any burst of probe reports landing between two
+	// selection requests into a single rebuild.
+	sysSnap atomic.Pointer[SysSnapshot]
 }
 
 // New creates an empty database using the real clock.
@@ -65,12 +87,61 @@ func NewWithClock(c Clock) *DB {
 
 func netKey(from, to string) string { return from + "\x00" + to }
 
+// invalidateSysLocked marks the sys table mutated. Callers hold
+// db.mu for writing.
+func (db *DB) invalidateSysLocked() {
+	db.epoch++
+	db.sysSnap.Store(nil)
+}
+
+// SysView returns the current copy-on-write snapshot of the server
+// table: one atomic pointer load on the hot path, a lazy rebuild under
+// the read lock after a mutation. The returned snapshot (including
+// its Records slice) is immutable and shared between callers.
+func (db *DB) SysView() *SysSnapshot {
+	if s := db.sysSnap.Load(); s != nil {
+		return s
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	// Another reader may have rebuilt while we waited for the lock;
+	// writers are excluded here, so a non-nil snapshot is current.
+	if s := db.sysSnap.Load(); s != nil {
+		return s
+	}
+	recs := make([]SysRecord, 0, len(db.sys))
+	for _, r := range db.sys {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Status.Host < recs[j].Status.Host })
+	s := &SysSnapshot{Epoch: db.epoch, Records: recs}
+	db.sysSnap.Store(s)
+	return s
+}
+
+// SysEpoch reports the sys table's mutation counter.
+func (db *DB) SysEpoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epoch
+}
+
+// Now reads the database clock. Selection code uses it to compute
+// freshness cutoffs against a snapshot's timestamps with the same
+// clock that stamped them.
+func (db *DB) Now() time.Time {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.clock()
+}
+
 // PutSys inserts or updates a server status record (§3.2.2: existing
 // addresses are updated in place, new ones inserted).
 func (db *DB) PutSys(s status.ServerStatus) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.sys[s.Host] = SysRecord{Status: s, UpdatedAt: db.clock()}
+	db.invalidateSysLocked()
 }
 
 // GetSys returns the record for one host.
@@ -82,15 +153,10 @@ func (db *DB) GetSys(host string) (SysRecord, bool) {
 }
 
 // Sys returns all server records, sorted by host for determinism.
+// The slice is the caller's to keep; it is copied off the current
+// snapshot rather than assembled under the lock.
 func (db *DB) Sys() []SysRecord {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]SysRecord, 0, len(db.sys))
-	for _, r := range db.sys {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Status.Host < out[j].Status.Host })
-	return out
+	return append([]SysRecord(nil), db.SysView().Records...)
 }
 
 // FreshSys returns only the server records updated within maxAge,
@@ -102,16 +168,14 @@ func (db *DB) FreshSys(maxAge time.Duration) []SysRecord {
 	if maxAge <= 0 {
 		return db.Sys()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	cutoff := db.clock().Add(-maxAge)
-	out := make([]SysRecord, 0, len(db.sys))
-	for _, r := range db.sys {
+	snap := db.SysView()
+	cutoff := db.Now().Add(-maxAge)
+	out := make([]SysRecord, 0, len(snap.Records))
+	for _, r := range snap.Records {
 		if !r.UpdatedAt.Before(cutoff) {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Status.Host < out[j].Status.Host })
 	return out
 }
 
@@ -135,6 +199,9 @@ func (db *DB) ExpireSys(maxAge time.Duration) []string {
 			delete(db.sys, host)
 			expired = append(expired, host)
 		}
+	}
+	if len(expired) > 0 {
+		db.invalidateSysLocked()
 	}
 	sort.Strings(expired)
 	return expired
@@ -269,6 +336,7 @@ func (db *DB) Load(sys []status.ServerStatus, net []status.NetMetric, sec []stat
 		for _, s := range sys {
 			db.sys[s.Host] = SysRecord{Status: s, UpdatedAt: now}
 		}
+		db.invalidateSysLocked()
 	}
 	if net != nil {
 		db.net = make(map[string]NetRecord, len(net))

@@ -121,6 +121,12 @@ type Options struct {
 	// (centralized push) or the receiver's pull connections
 	// (distributed) in a chaos.StreamConn for stall/reset injection.
 	TxFaults *chaos.Injector
+	// WizardWorkers sets the wizard's concurrent handler count; 0
+	// keeps the thesis-faithful sequential mode.
+	WizardWorkers int
+	// WizardCacheSize sets the wizard's compiled-requirement cache
+	// bound (0: default, negative: disabled — the seed behaviour).
+	WizardCacheSize int
 }
 
 // Cluster is a running in-process deployment.
@@ -297,9 +303,11 @@ func Boot(opts Options) (*Cluster, error) {
 		return fail(err)
 	}
 	wz, err := wizard.New(wizard.Config{
-		Addr:     "127.0.0.1:0",
-		Selector: sel,
-		Update:   update,
+		Addr:      "127.0.0.1:0",
+		Selector:  sel,
+		Update:    update,
+		Workers:   opts.WizardWorkers,
+		CacheSize: opts.WizardCacheSize,
 	})
 	if err != nil {
 		return fail(err)
@@ -369,6 +377,10 @@ func (c *Cluster) RestartHost(name string) error {
 
 // WizardAddr is the UDP address clients send requests to.
 func (c *Cluster) WizardAddr() string { return c.wizard.Addr() }
+
+// Wizard exposes the running request handler, so experiments can read
+// its counters and cache statistics.
+func (c *Cluster) Wizard() *wizard.Wizard { return c.wizard }
 
 // MonitorAddr is the system monitor's report address.
 func (c *Cluster) MonitorAddr() string { return c.sysMonitor.Addr() }

@@ -1,0 +1,143 @@
+package wizard
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"smartsock/internal/core"
+	"smartsock/internal/proto"
+	"smartsock/internal/store"
+	"smartsock/internal/sysinfo"
+)
+
+// stormMix is the cached request mix: a handful of distinct
+// requirement texts, as produced by a fleet of applications each
+// reusing its own requirement. After the first round every text is a
+// cache hit.
+var stormMix = []string{
+	"host_cpu_bogomips > 3000\nhost_cpu_free > 0.5\nhost_memory_free > 5\nscore = host_cpu_bogomips * host_cpu_free\nscore\n",
+	"host_cpu_bogomips > 2000\n",
+	"host_memory_free > 50\nhost_cpu_free > 0.3\n",
+	"host_system_load1 < 2\nhost_cpu_bogomips > 1500\n",
+	"host_cpu_free > 0.8\nhost_memory_free > 10\n",
+}
+
+// stormSelector registers the 11-host benchmark set.
+func stormSelector(b *testing.B) *core.Selector {
+	b.Helper()
+	db := store.New()
+	hosts := []struct {
+		name     string
+		bogomips float64
+		memMB    uint64
+	}{
+		{"apple", 4771, 512}, {"banana", 1730, 128}, {"cherry", 5321, 1024},
+		{"date", 2900, 256}, {"elder", 3650, 512}, {"fig", 4100, 768},
+		{"grape", 990, 64}, {"honey", 6020, 2048}, {"iris", 3105, 384},
+		{"jade", 2450, 256}, {"kiwi", 5500, 1024},
+	}
+	for _, h := range hosts {
+		db.PutSys(sysinfo.Idle(h.name, h.bogomips, h.memMB))
+	}
+	sel, err := core.New(db, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sel
+}
+
+// BenchmarkWizardAnswer measures the in-process answer pipeline.
+// "uncached" is the seed behaviour (every request re-parses);
+// "cached" is the fast path.
+func BenchmarkWizardAnswer(b *testing.B) {
+	run := func(b *testing.B, cacheSize int) {
+		w := startWizard(b, Config{Selector: stormSelector(b), CacheSize: cacheSize})
+		reqs := make([]*proto.Request, len(stormMix))
+		for i, detail := range stormMix {
+			reqs[i] = &proto.Request{
+				Seq: uint32(i), ServerNum: 4,
+				Option: proto.OptPartialOK | proto.OptRankByExpr,
+				Detail: detail,
+			}
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if reply := w.Answer(ctx, reqs[i%len(reqs)]); reply.Err != "" {
+				b.Fatal(reply.Err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, -1) })
+	b.Run("cached", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkWizardStorm measures end-to-end UDP request/reply
+// throughput under a storm from 8 ping-pong clients. "seq-uncached"
+// is the seed serving model (sequential loop, no cache);
+// "workers8-cached" is the fast path. The req/s metric is the
+// headline EXPERIMENTS.md number.
+func BenchmarkWizardStorm(b *testing.B) {
+	run := func(b *testing.B, workers, cacheSize int) {
+		w := startWizard(b, Config{
+			Selector:  stormSelector(b),
+			Workers:   workers,
+			CacheSize: cacheSize,
+		})
+		datagrams := make([][]byte, len(stormMix))
+		for i, detail := range stormMix {
+			datagrams[i] = proto.MarshalRequest(&proto.Request{
+				Seq: uint32(i), ServerNum: 4,
+				Option: proto.OptPartialOK | proto.OptRankByExpr,
+				Detail: detail,
+			})
+		}
+		const clients = 8
+		errs := make(chan error, clients)
+		counts := make([]int, clients)
+		for i := 0; i < b.N; i++ {
+			counts[i%clients]++
+		}
+		b.ResetTimer()
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			go func(c, count int) {
+				conn, err := net.Dial("udp", w.Addr())
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer conn.Close()
+				buf := make([]byte, 64*1024)
+				for i := 0; i < count; i++ {
+					if _, err := conn.Write(datagrams[(c+i)%len(datagrams)]); err != nil {
+						errs <- err
+						return
+					}
+					if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := conn.Read(buf); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(c, counts[c])
+		}
+		for c := 0; c < clients; c++ {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+	}
+	b.Run("seq-uncached", func(b *testing.B) { run(b, 1, -1) })
+	b.Run("seq-cached", func(b *testing.B) { run(b, 1, 0) })
+	b.Run("workers8-cached", func(b *testing.B) { run(b, 8, 0) })
+}

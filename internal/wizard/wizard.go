@@ -8,6 +8,14 @@
 // single datagrams, and under request storms a TCP wizard would
 // accumulate TIME_WAIT state until "too many files opened" (§3.6.1).
 //
+// The thesis wizard "processes the user requests sequentially", and
+// Workers: 1 (the default) preserves that mode byte-for-byte on the
+// wire. Because storms are the expected workload, the wizard also has
+// a fast path: Workers: N serves requests from N concurrent handler
+// goroutines reading the same socket, requirement texts compile once
+// through a bounded LRU cache (reqlang.Cache), and each worker reuses
+// its read and reply-marshal buffers across requests.
+//
 // In distributed mode the wizard triggers a pull from the passive
 // transmitters before matching, so sparse deployments only move
 // status data when someone actually asks for servers.
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -46,12 +55,24 @@ type Config struct {
 	Templates map[string]string
 	// Logger receives per-request errors; nil silences them.
 	Logger *log.Logger
+	// Workers is the number of concurrent request-handling
+	// goroutines. 0 or 1 selects the thesis-faithful sequential loop
+	// (§3.6.1), which stays the default; larger values enable the
+	// storm fast path.
+	Workers int
+	// CacheSize bounds the compiled-requirement cache, in programs.
+	// 0 picks reqlang.DefaultCacheSize; a negative value disables
+	// caching so every request re-parses (the seed behaviour, kept
+	// for comparison benchmarks and wizardd -compat).
+	CacheSize int
 }
 
 // Wizard is a running request handler.
 type Wizard struct {
 	cfg        Config
 	conn       *net.UDPConn
+	cache      *reqlang.Cache
+	templates  atomic.Pointer[map[string]string]
 	handled    atomic.Uint64
 	rejected   atomic.Uint64
 	updateFail atomic.Uint64
@@ -88,6 +109,9 @@ func New(cfg Config) (*Wizard, error) {
 	if cfg.Selector == nil {
 		return nil, fmt.Errorf("wizard: nil selector")
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("wizard: %d workers", cfg.Workers)
+	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("wizard: resolve %q: %w", cfg.Addr, err)
@@ -96,7 +120,21 @@ func New(cfg Config) (*Wizard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wizard: listen: %w", err)
 	}
-	return &Wizard{cfg: cfg, conn: conn, varCounts: make(map[string]uint64)}, nil
+	size := cfg.CacheSize
+	switch {
+	case size == 0:
+		size = reqlang.DefaultCacheSize
+	case size < 0:
+		size = 0 // caching disabled
+	}
+	w := &Wizard{
+		cfg:       cfg,
+		conn:      conn,
+		cache:     reqlang.NewCache(size),
+		varCounts: make(map[string]uint64),
+	}
+	w.templates.Store(&cfg.Templates)
+	return w, nil
 }
 
 // Addr reports the bound UDP address.
@@ -114,17 +152,64 @@ func (w *Wizard) Rejected() uint64 { return w.rejected.Load() }
 // flapping transmitter link — dashboards and chaos tests watch it.
 func (w *Wizard) UpdateFailures() uint64 { return w.updateFail.Load() }
 
-// Run serves requests sequentially — the thesis wizard "processes the
-// user requests sequentially" — until the context is cancelled.
+// CacheStats reports the compiled-requirement cache's cumulative hit
+// and miss counts.
+func (w *Wizard) CacheStats() (hits, misses uint64) { return w.cache.Stats() }
+
+// ReloadTemplates atomically replaces the requirement template table
+// and purges the compiled-requirement cache. The purge is hygiene,
+// not correctness: cache entries are keyed by requirement text, so a
+// renamed or edited template can never serve a stale program — but
+// dead bodies would otherwise sit in cache slots until evicted.
+func (w *Wizard) ReloadTemplates(templates map[string]string) {
+	w.templates.Store(&templates)
+	w.cache.Purge()
+}
+
+// Run serves requests until the context is cancelled: sequentially
+// with Workers ≤ 1 (the thesis wizard "processes the user requests
+// sequentially"), or from a pool of handler goroutines all reading
+// the same socket otherwise.
 func (w *Wizard) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
-		// The read loop below surfaces the close as net.ErrClosed.
+		// The serve loops below surface the close as net.ErrClosed.
 		_ = w.conn.Close()
 	}()
+	workers := w.cfg.Workers
+	if workers <= 1 {
+		return w.serve(ctx)
+	}
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- w.serve(ctx)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serve is one handler loop: read a datagram, answer it, reply. Each
+// loop owns a receive buffer and a reply-marshal buffer, reused
+// across requests; concurrent loops share the socket (the net package
+// serialises the datagram reads and writes themselves).
+func (w *Wizard) serve(ctx context.Context) error {
 	buf := make([]byte, 64*1024)
+	var out []byte
 	for {
-		n, from, err := w.conn.ReadFromUDP(buf)
+		// The AddrPort variants return the peer as a value, so a
+		// datagram read costs no *net.UDPAddr allocation.
+		n, from, err := w.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 				return nil
@@ -135,12 +220,12 @@ func (w *Wizard) Run(ctx context.Context) error {
 		if reply == nil {
 			continue // undecodable request: nothing to answer
 		}
-		out, err := proto.MarshalReply(reply)
+		out, err = proto.AppendReply(out[:0], reply)
 		if err != nil {
 			w.logf("wizard: marshal reply: %v", err)
 			continue
 		}
-		if _, err := w.conn.WriteToUDP(out, from); err != nil {
+		if _, err := w.conn.WriteToUDPAddrPort(out, from); err != nil {
 			w.logf("wizard: send reply: %v", err)
 		}
 	}
@@ -162,7 +247,8 @@ func (w *Wizard) handle(ctx context.Context, datagram []byte) *proto.Reply {
 }
 
 // Answer runs the full matching pipeline for one request. It is
-// exported so in-process deployments (and tests) can bypass UDP.
+// exported so in-process deployments (and tests) can bypass UDP; it
+// is safe to call from any number of goroutines.
 func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
 	reply := &proto.Reply{Seq: req.Seq}
 	fail := func(format string, args ...any) *proto.Reply {
@@ -172,17 +258,17 @@ func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
 
 	detail := req.Detail
 	if req.Option&proto.OptTemplate != 0 {
-		tpl, ok := w.cfg.Templates[detail]
+		tpl, ok := (*w.templates.Load())[detail]
 		if !ok {
 			return fail("unknown requirement template %q", detail)
 		}
 		detail = tpl
 	}
-	prog, err := reqlang.Parse(detail)
+	prog, err := w.cache.Get(detail)
 	if err != nil {
 		return fail("parse requirement: %v", err)
 	}
-	w.recordVars(prog.FreeVariables())
+	w.recordVars(prog.FreeVars())
 	if w.cfg.Update != nil {
 		// Distributed mode: refresh the databases on demand (§3.5.1).
 		if err := w.cfg.Update(ctx); err != nil {
@@ -200,7 +286,12 @@ func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
 }
 
 // sanitize strips newlines so error text survives the reply format.
+// Almost no error text carries one, so the common case returns the
+// input without copying.
 func sanitize(s string) string {
+	if strings.IndexByte(s, '\n') < 0 {
+		return s
+	}
 	out := make([]byte, 0, len(s))
 	for i := 0; i < len(s); i++ {
 		if s[i] == '\n' {

