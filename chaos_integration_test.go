@@ -241,6 +241,112 @@ func TestChaosTransmitterLinkResetRecovers(t *testing.T) {
 	}
 }
 
+// TestChaosStreamResetMidDeltaResyncs cuts the push stream while it
+// is carrying delta traffic and checks the delta protocol's recovery
+// story end to end: the transmitter redials and re-anchors the
+// receiver with a full snapshot, delta flow resumes, and a host that
+// dies afterwards still disappears from the wizard's replica via a
+// tombstone delta — proof the resynced stream carries deletions, not
+// just refreshes.
+func TestChaosStreamResetMidDeltaResyncs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	seed := chaos.SeedFromEnv(42)
+	const interval = 50 * time.Millisecond
+	txFaults := chaos.New(chaos.Config{Seed: seed})
+
+	var machines []testbed.Machine
+	var closers []func()
+	for i := 0; i < 3; i++ {
+		addr, closeLn := echoServer(t)
+		closers = append(closers, closeLn)
+		machines = append(machines, testbed.Machine{
+			Name: addr, CPU: "sim", Bogomips: 2000, RAMMB: 256, Speed: 1, Group: "lab",
+		})
+	}
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	cluster, err := testbed.Boot(testbed.Options{
+		Machines:        machines,
+		ProbeInterval:   interval,
+		MissedIntervals: 2,
+		ExpireAll:       true,
+		MaxStatusAge:    4 * interval,
+		TxFaults:        txFaults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := cluster.WaitSettled(ctx, len(machines)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Probes re-report every interval, so once settled the stream
+	// carries one refresh delta per epoch. Wait until the stream is
+	// demonstrably in its delta regime before cutting it.
+	deadline := time.Now().Add(10 * time.Second)
+	for cluster.Tx.Deltas() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("push stream never entered the delta regime")
+		}
+		time.Sleep(interval)
+	}
+
+	// Cut the stream mid-delta. The transmitter must notice, redial
+	// and open the new stream with a full snapshot (the resync), after
+	// which the replica keeps refreshing.
+	fullBefore, deltasBefore := cluster.Tx.Sent(), cluster.Tx.Deltas()
+	if n := txFaults.ResetAllStreams(); n == 0 {
+		t.Fatal("no transmitter stream was wrapped")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for cluster.Tx.Sent() == fullBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("transmitter never re-anchored the stream with a full snapshot")
+		}
+		time.Sleep(interval)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for cluster.Tx.Deltas() <= deltasBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("delta flow never resumed after the resync snapshot")
+		}
+		time.Sleep(interval)
+	}
+
+	// Kill a host on the resynced stream: its expiry tombstone must
+	// ride a delta all the way into the wizard's replica.
+	dead := machines[2].Name
+	if err := cluster.CrashHost(dead); err != nil {
+		t.Fatal(err)
+	}
+	closers[2]()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if _, ok := cluster.WizardDB.GetSys(dead); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("crashed host %s never left the wizard replica via a tombstone delta", dead)
+		}
+		time.Sleep(interval)
+	}
+	// The survivors must be untouched by the deletion.
+	for _, m := range machines[:2] {
+		if _, ok := cluster.WizardDB.GetSys(m.Name); !ok {
+			t.Fatalf("survivor %s vanished alongside the tombstoned host", m.Name)
+		}
+	}
+}
+
 func containsString(list []string, s string) bool {
 	for _, v := range list {
 		if v == s {

@@ -46,6 +46,8 @@ func main() {
 		passive    = flag.String("passive", "", "TCP listen address for distributed-mode pulls (e.g. :1110)")
 		seclog     = flag.String("seclog", "", "security log file for the security monitor")
 		netmonName = flag.String("netmon", "", "this node's network monitor name (enables netmon)")
+		compat     = flag.Bool("compat", false, "thesis-faithful wire mode: full snapshot every epoch, no deltas")
+		resyncEv   = flag.Int("resync-every", 0, "delta epochs between unsolicited full snapshots (0: default)")
 		peers      peerList
 	)
 	flag.Var(&peers, "peer", "network peer as name=echoAddr (repeatable)")
@@ -114,6 +116,8 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	tx.Compat = *compat
+	tx.ResyncEvery = *resyncEv
 	switch {
 	case *receiver != "":
 		logger.Printf("centralized mode: pushing to %s", *receiver)

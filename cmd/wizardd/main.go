@@ -41,7 +41,7 @@ func main() {
 		tplFile     = flag.String("templates", "", "requirement template file ([name] sections, §3.6.1)")
 		workers     = flag.Int("workers", 1, "concurrent request handlers; 1 is the thesis-faithful sequential mode")
 		cacheSize   = flag.Int("cache-size", 0, "compiled-requirement cache entries (0: default, <0: disable)")
-		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache")
+		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, full-snapshot transport")
 		pulls       addrList
 	)
 	flag.Var(&pulls, "pull", "passive transmitter to pull from on each request (repeatable; enables distributed mode)")
@@ -56,6 +56,9 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
+	// The transport half of -compat: thesis pull protocol, whole-table
+	// loads. Set before the update hook captures the receiver.
+	recv.Compat = *compat
 	var update wizard.UpdateFunc
 	if len(pulls) > 0 {
 		targets := []string(pulls)

@@ -1,0 +1,149 @@
+package experiments
+
+// The delta-transport experiment: wire bytes per status epoch for the
+// full-snapshot thesis protocol versus the delta protocol, swept over
+// fleet size and per-epoch change rate. DESIGN.md's status
+// distribution section and EXPERIMENTS.md's transport.delta entry
+// carry the measured numbers; scripts/bench.sh pins the unchanged-
+// fleet ratio in BENCH_transport.json.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"smartsock/internal/store"
+	"smartsock/internal/sysinfo"
+	"smartsock/internal/transport"
+)
+
+func init() {
+	register("transport.delta", transportDelta)
+}
+
+// transportDelta runs one passive transmitter per configuration and
+// pulls from it over a real loopback TCP connection, counting reply
+// bytes. Each pull is one status epoch; between epochs a fixed
+// fraction of the fleet's records change content. The thesis protocol
+// (compat) re-ships the whole database every epoch; the delta
+// protocol ships only the changed records, so the unchanged-fleet row
+// is where the ≥10× reduction shows.
+func transportDelta(o Options) (*Table, error) {
+	fleets := []int{100, 1000}
+	epochs := 8
+	if o.Quick {
+		fleets = []int{50, 150}
+		epochs = 4
+	}
+	rates := []float64{0, 0.01, 0.10}
+
+	t := &Table{
+		ID:      "transport.delta",
+		Title:   "Wire bytes per status epoch: full snapshots vs deltas",
+		Columns: []string{"fleet", "changed/epoch", "full B/epoch", "delta B/epoch", "reduction"},
+	}
+	for _, n := range fleets {
+		for _, rate := range rates {
+			full, err := measureTransport(n, rate, epochs, true)
+			if err != nil {
+				return nil, fmt.Errorf("transport.delta full n=%d: %w", n, err)
+			}
+			delta, err := measureTransport(n, rate, epochs, false)
+			if err != nil {
+				return nil, fmt.Errorf("transport.delta delta n=%d: %w", n, err)
+			}
+			reduction := "n/a"
+			if delta > 0 {
+				reduction = fmt.Sprintf("%.1fx", full/delta)
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", int(rate*float64(n))),
+				fmt.Sprintf("%.0f", full),
+				fmt.Sprintf("%.0f", delta),
+				reduction,
+			)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"each epoch is one distributed-mode pull over loopback TCP; bytes are the puller's read side",
+		"an unchanged fleet costs the delta protocol one snap-mark frame; the push path skips even that",
+	)
+	return t, nil
+}
+
+// countingConn counts the bytes read off a pull connection.
+type countingConn struct {
+	net.Conn
+	read *atomic.Int64
+}
+
+func (c *countingConn) Read(b []byte) (int, error) {
+	//lint:ignore deadline transparent wrapper: the pull loop owns the deadlines
+	n, err := c.Conn.Read(b)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// measureTransport syncs a puller against a fleet of n hosts, then
+// runs the given number of epochs with rate×n content changes each
+// and reports the mean reply bytes per epoch.
+func measureTransport(n int, rate float64, epochs int, compat bool) (float64, error) {
+	src := store.New()
+	hosts := make([]string, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = fmt.Sprintf("node-%04d", i)
+		src.PutSys(sysinfo.Idle(hosts[i], 1000+float64(i%7)*500, 256))
+	}
+
+	tx, err := transport.NewTransmitter(src, nil)
+	if err != nil {
+		return 0, err
+	}
+	tx.Compat = compat
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go tx.ServePassive(ctx, ln)
+
+	dst := store.New()
+	recv, err := transport.NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		return 0, err
+	}
+	recv.Compat = compat
+	var read atomic.Int64
+	recv.Dial = func(network, addr string) (net.Conn, error) {
+		conn, err := net.DialTimeout(network, addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return &countingConn{Conn: conn, read: &read}, nil
+	}
+	addrs := []string{ln.Addr().String()}
+
+	// Initial sync: both protocols ship the full database once.
+	if err := recv.PullFrom(addrs, 5*time.Second); err != nil {
+		return 0, err
+	}
+	read.Store(0)
+
+	changed := int(rate * float64(n))
+	for e := 0; e < epochs; e++ {
+		for j := 0; j < changed; j++ {
+			i := (e*changed + j) % n
+			s := sysinfo.Idle(hosts[i], 1000+float64(i%7)*500, 256)
+			s.Load1 = float64(e+1) + float64(j)/100
+			src.PutSys(s)
+		}
+		if err := recv.PullFrom(addrs, 5*time.Second); err != nil {
+			return 0, err
+		}
+	}
+	return float64(read.Load()) / float64(epochs), nil
+}

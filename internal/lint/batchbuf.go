@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// batchBufScope lists the packages that encode status batches on a
+// per-epoch cadence. A Marshal*Batch call there allocates a fresh
+// buffer every tick of a loop that may run for the process lifetime —
+// the reusable Append*Batch variants exist precisely so steady-state
+// epochs allocate nothing. One-shot encodes outside loops are fine.
+var batchBufScope = map[string]bool{
+	"smartsock/internal/transport": true,
+}
+
+// batchBufCallees are the allocating batch encoders the analyzer
+// flags when called inside a loop.
+var batchBufCallees = map[string]bool{
+	"MarshalSystemBatch": true,
+	"MarshalNetBatch":    true,
+	"MarshalSecBatch":    true,
+}
+
+// BatchBuf reports allocating status.Marshal*Batch calls inside loops
+// on the transport's epoch path.
+var BatchBuf = &Analyzer{
+	Name: "batchbuf",
+	Doc:  "per-epoch status batch encodes must reuse a buffer via status.Append*Batch, not allocate one per tick with status.Marshal*Batch",
+	Run: func(pass *Pass) {
+		if !batchBufScope[pass.Pkg.Path] {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			// Collect loop bodies first, then flag matching calls
+			// inside them; nested loops are deduplicated by position.
+			seen := map[token.Pos]bool{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				ast.Inspect(body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name, ok := calleeFrom(pass.Pkg.Info, call, "smartsock/internal/status")
+					if !ok || !batchBufCallees[name] || seen[call.Pos()] {
+						return true
+					}
+					seen[call.Pos()] = true
+					pass.Reportf(call.Pos(), "status.%s allocates a fresh buffer every loop iteration; reuse one with status.Append%s", name, name[len("Marshal"):])
+					return true
+				})
+				return true
+			})
+		}
+	},
+}

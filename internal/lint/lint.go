@@ -23,7 +23,11 @@
 //   - parsecache: no direct reqlang.Parse call in the wizard request
 //     path (internal/wizard, internal/core) — requirement compiles
 //     there must go through the bounded reqlang.Cache so request
-//     storms parse each text once.
+//     storms parse each text once;
+//   - batchbuf: no allocating status.Marshal*Batch call inside a loop
+//     in internal/transport — the per-epoch encode path must reuse a
+//     buffer via status.Append*Batch so steady-state pushes allocate
+//     nothing.
 //
 // A finding may be suppressed with a directive comment on the same
 // line or the line directly above it:
@@ -106,7 +110,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache}
+	return []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache, BatchBuf}
 }
 
 // ByName returns the analyzer with the given name, if any.

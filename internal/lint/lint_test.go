@@ -83,6 +83,17 @@ func DialTimeout(network, address string, timeout time.Duration) (Conn, error) {
 func Listen(network, address string) (Listener, error) { return nil, nil }
 func JoinHostPort(host, port string) string { return "" }
 `,
+	"smartsock/internal/status": `package status
+type ServerStatus struct{ Host string }
+type NetMetric struct{ From, To string }
+type SecLevel struct{ Host string }
+func MarshalSystemBatch(recs []ServerStatus) []byte { return nil }
+func AppendSystemBatch(dst []byte, recs []ServerStatus) []byte { return dst }
+func MarshalNetBatch(recs []NetMetric) []byte { return nil }
+func AppendNetBatch(dst []byte, recs []NetMetric) []byte { return dst }
+func MarshalSecBatch(recs []SecLevel) []byte { return nil }
+func AppendSecBatch(dst []byte, recs []SecLevel) []byte { return dst }
+`,
 	"smartsock/internal/reqlang": `package reqlang
 type Program struct{ src string }
 func Parse(src string) (*Program, error) { return &Program{src: src}, nil }
@@ -491,6 +502,77 @@ func compile(src string) { reqlang.Parse(src) }
 `,
 			want: nil,
 		},
+		// ---- batchbuf --------------------------------------------------
+		{
+			name:     "batchbuf/marshal inside the epoch loop",
+			analyzer: "batchbuf",
+			pkgPath:  "smartsock/internal/transport",
+			src: `package transport
+import "smartsock/internal/status"
+func push(recs []status.ServerStatus, out chan []byte) {
+	for {
+		out <- status.MarshalSystemBatch(recs)
+	}
+}
+`,
+			want: []int{5},
+		},
+		{
+			name:     "batchbuf/range loops count too",
+			analyzer: "batchbuf",
+			pkgPath:  "smartsock/internal/transport",
+			src: `package transport
+import "smartsock/internal/status"
+func push(epochs [][]status.NetMetric, out chan []byte) {
+	for _, recs := range epochs {
+		out <- status.MarshalNetBatch(recs)
+	}
+}
+`,
+			want: []int{5},
+		},
+		{
+			name:     "batchbuf/append with a reused buffer is the approved route",
+			analyzer: "batchbuf",
+			pkgPath:  "smartsock/internal/transport",
+			src: `package transport
+import "smartsock/internal/status"
+func push(recs []status.ServerStatus, out chan []byte) {
+	var buf []byte
+	for {
+		buf = status.AppendSystemBatch(buf[:0], recs)
+		out <- buf
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "batchbuf/one-shot encode outside a loop is fine",
+			analyzer: "batchbuf",
+			pkgPath:  "smartsock/internal/transport",
+			src: `package transport
+import "smartsock/internal/status"
+func encodeOnce(recs []status.SecLevel) []byte {
+	return status.MarshalSecBatch(recs)
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "batchbuf/packages off the epoch path may marshal in loops",
+			analyzer: "batchbuf",
+			pkgPath:  "smartsock/internal/probe",
+			src: `package probe
+import "smartsock/internal/status"
+func spam(recs []status.ServerStatus, out chan []byte) {
+	for {
+		out <- status.MarshalSystemBatch(recs)
+	}
+}
+`,
+			want: nil,
+		},
 	}
 
 	for _, tc := range cases {
@@ -558,7 +640,7 @@ func b() {}
 // TestSuiteNames pins the analyzer set: CHANGING THIS LIST means
 // updating README.md's correctness-tooling section too.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache"}
+	want := []string{"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache", "batchbuf"}
 	as := lint.Analyzers()
 	if len(as) != len(want) {
 		t.Fatalf("%d analyzers, want %d", len(as), len(want))

@@ -47,24 +47,39 @@ func WriteFrame(w io.Writer, f Frame) error {
 }
 
 // ReadFrame reads one frame from r. It returns io.EOF unchanged when
-// the stream ends cleanly before a header byte arrives.
+// the stream ends cleanly before a header byte arrives. The frame's
+// Data is freshly allocated and owned by the caller.
 func ReadFrame(r io.Reader) (Frame, error) {
-	hdr := make([]byte, 5)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	f, _, err := ReadFrameInto(r, nil)
+	return f, err
+}
+
+// ReadFrameInto reads one frame like ReadFrame but reuses buf for the
+// payload, returning the possibly-grown buffer for the next call. The
+// frame's Data aliases buf and is valid only until then, which lets a
+// long-lived receiver connection apply a steady stream of frames
+// without a per-frame payload allocation.
+func ReadFrameInto(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return Frame{}, io.EOF
+			return Frame{}, buf, io.EOF
 		}
-		return Frame{}, fmt.Errorf("status: read frame header: %w", err)
+		return Frame{}, buf, fmt.Errorf("status: read frame header: %w", err)
 	}
 	size := binary.BigEndian.Uint32(hdr[1:])
 	if size > MaxFrameSize {
-		return Frame{}, fmt.Errorf("status: frame size %d exceeds limit %d", size, MaxFrameSize)
+		return Frame{}, buf, fmt.Errorf("status: frame size %d exceeds limit %d", size, MaxFrameSize)
 	}
-	data := make([]byte, size)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return Frame{}, fmt.Errorf("status: read frame data: %w", err)
+	if uint32(cap(buf)) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
 	}
-	return Frame{Type: RecordType(hdr[0]), Data: data}, nil
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, buf, fmt.Errorf("status: read frame data: %w", err)
+	}
+	return Frame{Type: RecordType(hdr[0]), Data: buf}, buf, nil
 }
 
 // appendString appends a length-prefixed UTF-8 string.
@@ -110,7 +125,14 @@ func readUint64(b []byte) (uint64, []byte, error) {
 // MarshalSystemBatch encodes a batch of server status records as a
 // TypeSystem frame payload.
 func MarshalSystemBatch(recs []ServerStatus) []byte {
-	b := binary.BigEndian.AppendUint32(nil, uint32(len(recs)))
+	return AppendSystemBatch(nil, recs)
+}
+
+// AppendSystemBatch appends a TypeSystem payload to dst and returns
+// the extended buffer, so per-tick encoders can reuse one buffer
+// instead of allocating three fresh ones per epoch.
+func AppendSystemBatch(dst []byte, recs []ServerStatus) []byte {
+	b := binary.BigEndian.AppendUint32(dst, uint32(len(recs)))
 	for i := range recs {
 		s := &recs[i]
 		b = appendString(b, s.Host)
@@ -200,7 +222,12 @@ func UnmarshalSystemBatch(b []byte) ([]ServerStatus, error) {
 // MarshalNetBatch encodes network metric records as a TypeNetwork
 // frame payload. Delay is carried as nanoseconds.
 func MarshalNetBatch(recs []NetMetric) []byte {
-	b := binary.BigEndian.AppendUint32(nil, uint32(len(recs)))
+	return AppendNetBatch(nil, recs)
+}
+
+// AppendNetBatch appends a TypeNetwork payload to dst.
+func AppendNetBatch(dst []byte, recs []NetMetric) []byte {
+	b := binary.BigEndian.AppendUint32(dst, uint32(len(recs)))
 	for i := range recs {
 		m := &recs[i]
 		b = appendString(b, m.From)
@@ -250,7 +277,12 @@ func UnmarshalNetBatch(b []byte) ([]NetMetric, error) {
 // MarshalSecBatch encodes security level records as a TypeSecurity
 // frame payload.
 func MarshalSecBatch(recs []SecLevel) []byte {
-	b := binary.BigEndian.AppendUint32(nil, uint32(len(recs)))
+	return AppendSecBatch(nil, recs)
+}
+
+// AppendSecBatch appends a TypeSecurity payload to dst.
+func AppendSecBatch(dst []byte, recs []SecLevel) []byte {
+	b := binary.BigEndian.AppendUint32(dst, uint32(len(recs)))
 	for i := range recs {
 		b = appendString(b, recs[i].Host)
 		b = binary.BigEndian.AppendUint32(b, uint32(int32(recs[i].Level)))

@@ -1,0 +1,524 @@
+// Delta codec for incremental transmitter→receiver transfer.
+//
+// The thesis pushes the full status database as three [type,size,data]
+// frames every epoch (§4.4) — fine for 11 machines, a scaling wall for
+// thousands. A delta frame instead carries only what moved since a
+// base version the receiver already holds:
+//
+//	uvarint baseVer   version the receiver must be at
+//	uvarint newVer    version this delta brings it to
+//	uvarint nChanged  records whose content changed, compact-encoded
+//	uvarint nDeleted  keys expired at the source (tombstones)
+//	uvarint nRefresh  keys re-reported with identical content; the
+//	                  receiver re-stamps their UpdatedAt only
+//
+// Encoding is varint-based with length-prefixed strings and
+// fixed-width float64 bits. Encoders append into caller-owned buffers
+// (Append*Delta) and decoders parse into reusable views whose byte
+// fields alias the frame buffer, so a steady delta stream costs the
+// receiver almost no allocation.
+package status
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// NetKey names one directed network-metric record, the (From, To)
+// monitor pair.
+type NetKey struct {
+	From, To string
+}
+
+// NetKeyView is the zero-copy decode form of a NetKey; the byte
+// slices alias the frame buffer they were parsed from.
+type NetKeyView struct {
+	From, To []byte
+}
+
+// SysDelta is the encode-side form of a TypeSysDelta payload.
+type SysDelta struct {
+	BaseVer, NewVer uint64
+	Changed         []ServerStatus
+	Deleted         []string
+	Refreshed       []string
+}
+
+// NetDelta is the encode-side form of a TypeNetDelta payload.
+type NetDelta struct {
+	BaseVer, NewVer uint64
+	Changed         []NetMetric
+	Deleted         []NetKey
+	Refreshed       []NetKey
+}
+
+// SecDelta is the encode-side form of a TypeSecDelta payload.
+type SecDelta struct {
+	BaseVer, NewVer uint64
+	Changed         []SecLevel
+	Deleted         []string
+	Refreshed       []string
+}
+
+// Empty reports whether the delta carries nothing.
+func (d *SysDelta) Empty() bool {
+	return len(d.Changed) == 0 && len(d.Deleted) == 0 && len(d.Refreshed) == 0
+}
+
+// Empty reports whether the delta carries nothing.
+func (d *NetDelta) Empty() bool {
+	return len(d.Changed) == 0 && len(d.Deleted) == 0 && len(d.Refreshed) == 0
+}
+
+// Empty reports whether the delta carries nothing.
+func (d *SecDelta) Empty() bool {
+	return len(d.Changed) == 0 && len(d.Deleted) == 0 && len(d.Refreshed) == 0
+}
+
+// Reset empties the delta for reuse, keeping slice capacity.
+func (d *SysDelta) Reset(base, newVer uint64) {
+	d.BaseVer, d.NewVer = base, newVer
+	d.Changed, d.Deleted, d.Refreshed = d.Changed[:0], d.Deleted[:0], d.Refreshed[:0]
+}
+
+// Reset empties the delta for reuse, keeping slice capacity.
+func (d *NetDelta) Reset(base, newVer uint64) {
+	d.BaseVer, d.NewVer = base, newVer
+	d.Changed, d.Deleted, d.Refreshed = d.Changed[:0], d.Deleted[:0], d.Refreshed[:0]
+}
+
+// Reset empties the delta for reuse, keeping slice capacity.
+func (d *SecDelta) Reset(base, newVer uint64) {
+	d.BaseVer, d.NewVer = base, newVer
+	d.Changed, d.Deleted, d.Refreshed = d.Changed[:0], d.Deleted[:0], d.Refreshed[:0]
+}
+
+// SysDeltaView is the decode-side form of a TypeSysDelta payload.
+// Deleted and Refreshed alias the parsed buffer and are valid only
+// while it lives; Changed records own their strings (they outlive the
+// frame inside the store).
+type SysDeltaView struct {
+	BaseVer, NewVer uint64
+	Changed         []ServerStatus
+	Deleted         [][]byte
+	Refreshed       [][]byte
+}
+
+// NetDeltaView is the decode-side form of a TypeNetDelta payload.
+type NetDeltaView struct {
+	BaseVer, NewVer uint64
+	Changed         []NetMetric
+	Deleted         []NetKeyView
+	Refreshed       []NetKeyView
+}
+
+// SecDeltaView is the decode-side form of a TypeSecDelta payload.
+type SecDeltaView struct {
+	BaseVer, NewVer uint64
+	Changed         []SecLevel
+	Deleted         [][]byte
+	Refreshed       [][]byte
+}
+
+// --- varint primitives ------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("status: truncated or overlong uvarint")
+	}
+	return v, b[n:], nil
+}
+
+// appendVString appends a uvarint-length-prefixed string.
+func appendVString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readVBytes reads a uvarint-length-prefixed byte field without
+// copying; the result aliases b.
+func readVBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("status: truncated delta string (%d < %d)", len(b), n)
+	}
+	return b[:n], b[n:], nil
+}
+
+func readVString(b []byte) (string, []byte, error) {
+	raw, rest, err := readVBytes(b)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(raw), rest, nil
+}
+
+// countCap rejects implausible element counts before any allocation,
+// like the batch decoders do: every element costs at least min bytes.
+func countCap(n uint64, remaining, min int) error {
+	if n > uint64(remaining)/uint64(min)+1 {
+		return fmt.Errorf("status: implausible delta count %d for %d bytes", n, remaining)
+	}
+	return nil
+}
+
+// --- compact record codecs --------------------------------------------
+
+func appendStatusDelta(b []byte, s *ServerStatus) []byte {
+	b = appendVString(b, s.Host)
+	for _, v := range []float64{
+		s.Load1, s.Load5, s.Load15,
+		s.CPUUser, s.CPUNice, s.CPUSystem, s.CPUIdle, s.Bogomips,
+	} {
+		b = appendFloat(b, v)
+	}
+	b = appendUvarint(b, s.MemTotal)
+	b = appendUvarint(b, s.MemUsed)
+	b = appendUvarint(b, s.MemFree)
+	for _, v := range []float64{
+		s.DiskAllReq, s.DiskRReq, s.DiskRBlocks, s.DiskWReq, s.DiskWBlocks,
+	} {
+		b = appendFloat(b, v)
+	}
+	b = appendVString(b, s.NetIface)
+	for _, v := range []float64{
+		s.NetRBytesPS, s.NetRPacketsPS, s.NetTBytesPS, s.NetTPacketsPS,
+	} {
+		b = appendFloat(b, v)
+	}
+	return b
+}
+
+func readStatusDelta(b []byte, s *ServerStatus) ([]byte, error) {
+	var err error
+	if s.Host, b, err = readVString(b); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*float64{
+		&s.Load1, &s.Load5, &s.Load15,
+		&s.CPUUser, &s.CPUNice, &s.CPUSystem, &s.CPUIdle, &s.Bogomips,
+	} {
+		if *dst, b, err = readFloat(b); err != nil {
+			return nil, err
+		}
+	}
+	if s.MemTotal, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if s.MemUsed, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if s.MemFree, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*float64{
+		&s.DiskAllReq, &s.DiskRReq, &s.DiskRBlocks, &s.DiskWReq, &s.DiskWBlocks,
+	} {
+		if *dst, b, err = readFloat(b); err != nil {
+			return nil, err
+		}
+	}
+	if s.NetIface, b, err = readVString(b); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*float64{
+		&s.NetRBytesPS, &s.NetRPacketsPS, &s.NetTBytesPS, &s.NetTPacketsPS,
+	} {
+		if *dst, b, err = readFloat(b); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// --- SysDelta ---------------------------------------------------------
+
+// AppendSysDelta appends the encoded delta to dst and returns the
+// extended buffer, so per-tick encoders reuse one buffer.
+func AppendSysDelta(dst []byte, d *SysDelta) []byte {
+	dst = appendUvarint(dst, d.BaseVer)
+	dst = appendUvarint(dst, d.NewVer)
+	dst = appendUvarint(dst, uint64(len(d.Changed)))
+	for i := range d.Changed {
+		dst = appendStatusDelta(dst, &d.Changed[i])
+	}
+	dst = appendUvarint(dst, uint64(len(d.Deleted)))
+	for _, h := range d.Deleted {
+		dst = appendVString(dst, h)
+	}
+	dst = appendUvarint(dst, uint64(len(d.Refreshed)))
+	for _, h := range d.Refreshed {
+		dst = appendVString(dst, h)
+	}
+	return dst
+}
+
+// Parse decodes a TypeSysDelta payload into v, reusing v's slice
+// capacity. Deleted and Refreshed alias b.
+func (v *SysDeltaView) Parse(b []byte) error {
+	v.Changed, v.Deleted, v.Refreshed = v.Changed[:0], v.Deleted[:0], v.Refreshed[:0]
+	var err error
+	if v.BaseVer, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if v.NewVer, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	var n uint64
+	if n, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if err = countCap(n, len(b), 64); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var s ServerStatus
+		if b, err = readStatusDelta(b, &s); err != nil {
+			return err
+		}
+		v.Changed = append(v.Changed, s)
+	}
+	if v.Deleted, b, err = parseKeyList(v.Deleted, b); err != nil {
+		return err
+	}
+	if v.Refreshed, b, err = parseKeyList(v.Refreshed, b); err != nil {
+		return err
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("status: %d trailing bytes after sys delta", len(b))
+	}
+	return nil
+}
+
+func parseKeyList(dst [][]byte, b []byte) ([][]byte, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return dst, nil, err
+	}
+	if err = countCap(n, len(b), 1); err != nil {
+		return dst, nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var k []byte
+		if k, b, err = readVBytes(b); err != nil {
+			return dst, nil, err
+		}
+		dst = append(dst, k)
+	}
+	return dst, b, nil
+}
+
+// --- NetDelta ---------------------------------------------------------
+
+// AppendNetDelta appends the encoded delta to dst.
+func AppendNetDelta(dst []byte, d *NetDelta) []byte {
+	dst = appendUvarint(dst, d.BaseVer)
+	dst = appendUvarint(dst, d.NewVer)
+	dst = appendUvarint(dst, uint64(len(d.Changed)))
+	for i := range d.Changed {
+		m := &d.Changed[i]
+		dst = appendVString(dst, m.From)
+		dst = appendVString(dst, m.To)
+		dst = appendUvarint(dst, uint64(m.Delay))
+		dst = appendFloat(dst, m.Bandwidth)
+	}
+	dst = appendUvarint(dst, uint64(len(d.Deleted)))
+	for _, k := range d.Deleted {
+		dst = appendVString(dst, k.From)
+		dst = appendVString(dst, k.To)
+	}
+	dst = appendUvarint(dst, uint64(len(d.Refreshed)))
+	for _, k := range d.Refreshed {
+		dst = appendVString(dst, k.From)
+		dst = appendVString(dst, k.To)
+	}
+	return dst
+}
+
+// Parse decodes a TypeNetDelta payload into v, reusing v's slice
+// capacity. Deleted and Refreshed alias b.
+func (v *NetDeltaView) Parse(b []byte) error {
+	v.Changed, v.Deleted, v.Refreshed = v.Changed[:0], v.Deleted[:0], v.Refreshed[:0]
+	var err error
+	if v.BaseVer, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if v.NewVer, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	var n uint64
+	if n, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if err = countCap(n, len(b), 12); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var m NetMetric
+		if m.From, b, err = readVString(b); err != nil {
+			return err
+		}
+		if m.To, b, err = readVString(b); err != nil {
+			return err
+		}
+		var d uint64
+		if d, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		m.Delay = time.Duration(d)
+		if m.Bandwidth, b, err = readFloat(b); err != nil {
+			return err
+		}
+		v.Changed = append(v.Changed, m)
+	}
+	if v.Deleted, b, err = parseNetKeyList(v.Deleted, b); err != nil {
+		return err
+	}
+	if v.Refreshed, b, err = parseNetKeyList(v.Refreshed, b); err != nil {
+		return err
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("status: %d trailing bytes after net delta", len(b))
+	}
+	return nil
+}
+
+func parseNetKeyList(dst []NetKeyView, b []byte) ([]NetKeyView, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return dst, nil, err
+	}
+	if err = countCap(n, len(b), 2); err != nil {
+		return dst, nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var k NetKeyView
+		if k.From, b, err = readVBytes(b); err != nil {
+			return dst, nil, err
+		}
+		if k.To, b, err = readVBytes(b); err != nil {
+			return dst, nil, err
+		}
+		dst = append(dst, k)
+	}
+	return dst, b, nil
+}
+
+// --- SecDelta ---------------------------------------------------------
+
+// AppendSecDelta appends the encoded delta to dst.
+func AppendSecDelta(dst []byte, d *SecDelta) []byte {
+	dst = appendUvarint(dst, d.BaseVer)
+	dst = appendUvarint(dst, d.NewVer)
+	dst = appendUvarint(dst, uint64(len(d.Changed)))
+	for i := range d.Changed {
+		dst = appendVString(dst, d.Changed[i].Host)
+		dst = binary.AppendVarint(dst, int64(d.Changed[i].Level))
+	}
+	dst = appendUvarint(dst, uint64(len(d.Deleted)))
+	for _, h := range d.Deleted {
+		dst = appendVString(dst, h)
+	}
+	dst = appendUvarint(dst, uint64(len(d.Refreshed)))
+	for _, h := range d.Refreshed {
+		dst = appendVString(dst, h)
+	}
+	return dst
+}
+
+// Parse decodes a TypeSecDelta payload into v, reusing v's slice
+// capacity. Deleted and Refreshed alias b.
+func (v *SecDeltaView) Parse(b []byte) error {
+	v.Changed, v.Deleted, v.Refreshed = v.Changed[:0], v.Deleted[:0], v.Refreshed[:0]
+	var err error
+	if v.BaseVer, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if v.NewVer, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	var n uint64
+	if n, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if err = countCap(n, len(b), 2); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var l SecLevel
+		if l.Host, b, err = readVString(b); err != nil {
+			return err
+		}
+		lv, m := binary.Varint(b)
+		if m <= 0 {
+			return fmt.Errorf("status: truncated sec delta level")
+		}
+		b = b[m:]
+		l.Level = int(lv)
+		v.Changed = append(v.Changed, l)
+	}
+	if v.Deleted, b, err = parseKeyList(v.Deleted, b); err != nil {
+		return err
+	}
+	if v.Refreshed, b, err = parseKeyList(v.Refreshed, b); err != nil {
+		return err
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("status: %d trailing bytes after sec delta", len(b))
+	}
+	return nil
+}
+
+// --- snap marks and versioned pull requests ---------------------------
+
+// AppendSnapMark encodes a TypeSnapMark payload: the version the
+// stream's receiver now holds.
+func AppendSnapMark(dst []byte, ver uint64) []byte {
+	return appendUvarint(dst, ver)
+}
+
+// ParseSnapMark decodes a TypeSnapMark payload.
+func ParseSnapMark(b []byte) (uint64, error) {
+	v, rest, err := readUvarint(b)
+	if err != nil {
+		return 0, fmt.Errorf("status: bad snap mark: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("status: %d trailing bytes after snap mark", len(rest))
+	}
+	return v, nil
+}
+
+// AppendPullRequest encodes a TypeRequest payload carrying the
+// puller's base version. Base 0 encodes as the empty thesis request.
+func AppendPullRequest(dst []byte, base uint64) []byte {
+	if base == 0 {
+		return dst
+	}
+	return appendUvarint(dst, base)
+}
+
+// ParsePullRequest decodes a TypeRequest payload; the empty thesis
+// request means base 0 (send a full snapshot).
+func ParsePullRequest(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	v, rest, err := readUvarint(b)
+	if err != nil {
+		return 0, fmt.Errorf("status: bad pull request: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("status: %d trailing bytes after pull request", len(rest))
+	}
+	return v, nil
+}

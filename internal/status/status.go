@@ -25,8 +25,23 @@ const (
 	// TypeSecurity frames carry a batch of SecLevel records.
 	TypeSecurity RecordType = 3
 	// TypeRequest frames carry an update request from a wizard to a
-	// transmitter running in distributed (passive) mode.
+	// transmitter running in distributed (passive) mode. Since the
+	// delta protocol the payload may carry the puller's base version
+	// (varint); an empty payload is the thesis request and asks for a
+	// full snapshot.
 	TypeRequest RecordType = 4
+	// TypeSysDelta frames carry a SysDelta: the server status records
+	// that changed since a base version, plus tombstones and
+	// refreshes.
+	TypeSysDelta RecordType = 5
+	// TypeNetDelta frames carry a NetDelta.
+	TypeNetDelta RecordType = 6
+	// TypeSecDelta frames carry a SecDelta.
+	TypeSecDelta RecordType = 7
+	// TypeSnapMark frames close a full snapshot (or a pull reply) and
+	// carry the database version the preceding frames brought the
+	// receiver to. The thesis-fidelity compat mode never sends one.
+	TypeSnapMark RecordType = 8
 )
 
 func (t RecordType) String() string {
@@ -39,6 +54,14 @@ func (t RecordType) String() string {
 		return "security"
 	case TypeRequest:
 		return "request"
+	case TypeSysDelta:
+		return "sys-delta"
+	case TypeNetDelta:
+		return "net-delta"
+	case TypeSecDelta:
+		return "sec-delta"
+	case TypeSnapMark:
+		return "snap-mark"
 	}
 	return fmt.Sprintf("RecordType(%d)", uint8(t))
 }

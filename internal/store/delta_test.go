@@ -1,0 +1,279 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"smartsock/internal/status"
+)
+
+func deltaTrio() (*status.SysDelta, *status.NetDelta, *status.SecDelta) {
+	return &status.SysDelta{}, &status.NetDelta{}, &status.SecDelta{}
+}
+
+func TestChangedSinceFromZeroReturnsEverything(t *testing.T) {
+	db := New()
+	db.PutSys(status.ServerStatus{Host: "a", Load1: 1})
+	db.PutSys(status.ServerStatus{Host: "b", Load1: 2})
+	db.PutNet(status.NetMetric{From: "a", To: "b", Delay: time.Millisecond})
+	db.PutSec(status.SecLevel{Host: "a", Level: 3})
+
+	sys, net, sec := deltaTrio()
+	ver, ok := db.ChangedSince(0, sys, net, sec)
+	if !ok {
+		t.Fatalf("ChangedSince(0) not ok")
+	}
+	if ver != db.Ver() {
+		t.Fatalf("ver = %d, want %d", ver, db.Ver())
+	}
+	if len(sys.Changed) != 2 || len(net.Changed) != 1 || len(sec.Changed) != 1 {
+		t.Fatalf("changed counts = %d/%d/%d, want 2/1/1",
+			len(sys.Changed), len(net.Changed), len(sec.Changed))
+	}
+	if len(sys.Deleted)+len(sys.Refreshed) != 0 {
+		t.Fatalf("unexpected deletions/refreshes: %v / %v", sys.Deleted, sys.Refreshed)
+	}
+	if sys.Changed[0].Host != "a" || sys.Changed[1].Host != "b" {
+		t.Fatalf("sys changed not sorted: %v", sys.Changed)
+	}
+}
+
+func TestChangedSinceUpToDateIsEmpty(t *testing.T) {
+	db := New()
+	db.PutSys(status.ServerStatus{Host: "a"})
+	base := db.Ver()
+
+	sys, net, sec := deltaTrio()
+	ver, ok := db.ChangedSince(base, sys, net, sec)
+	if !ok || ver != base {
+		t.Fatalf("ChangedSince(head) = (%d, %v), want (%d, true)", ver, ok, base)
+	}
+	if !sys.Empty() || !net.Empty() || !sec.Empty() {
+		t.Fatalf("expected empty deltas at head")
+	}
+}
+
+func TestRefreshDoesNotBumpEpochButTravelsInDelta(t *testing.T) {
+	db := New()
+	s := status.ServerStatus{Host: "a", Load1: 1}
+	db.PutSys(s)
+	base := db.Ver()
+	epoch := db.SysView().Epoch
+
+	// Same content again: a refresh, not a change.
+	db.PutSys(s)
+	if got := db.SysView().Epoch; got != epoch {
+		t.Fatalf("refresh bumped epoch %d -> %d", epoch, got)
+	}
+	sys, net, sec := deltaTrio()
+	if _, ok := db.ChangedSince(base, sys, net, sec); !ok {
+		t.Fatalf("ChangedSince not ok")
+	}
+	if len(sys.Changed) != 0 || len(sys.Refreshed) != 1 || sys.Refreshed[0] != "a" {
+		t.Fatalf("refresh delta = changed %v refreshed %v, want refresh of a",
+			sys.Changed, sys.Refreshed)
+	}
+
+	// Changed content: a real mutation.
+	base = db.Ver()
+	s.Load1 = 9
+	db.PutSys(s)
+	if got := db.SysView().Epoch; got == epoch {
+		t.Fatalf("content change did not bump epoch")
+	}
+	if _, ok := db.ChangedSince(base, sys, net, sec); !ok {
+		t.Fatalf("ChangedSince not ok")
+	}
+	if len(sys.Changed) != 1 || len(sys.Refreshed) != 0 {
+		t.Fatalf("change delta = changed %v refreshed %v, want change of a",
+			sys.Changed, sys.Refreshed)
+	}
+}
+
+func TestRefreshUpdatesTimestampVisibleToFreshSys(t *testing.T) {
+	now := time.Unix(1000, 0)
+	db := NewWithClock(func() time.Time { return now })
+	s := status.ServerStatus{Host: "a"}
+	db.PutSys(s)
+
+	now = now.Add(10 * time.Second)
+	db.PutSys(s) // refresh re-stamps UpdatedAt
+	fresh := db.FreshSys(5 * time.Second)
+	if len(fresh) != 1 {
+		t.Fatalf("refreshed record filtered out: FreshSys = %v", fresh)
+	}
+}
+
+func TestExpireLeavesTombstonesInDelta(t *testing.T) {
+	now := time.Unix(1000, 0)
+	db := NewWithClock(func() time.Time { return now })
+	db.PutSys(status.ServerStatus{Host: "old"})
+	db.PutNet(status.NetMetric{From: "old", To: "b"})
+	db.PutSec(status.SecLevel{Host: "old"})
+	now = now.Add(time.Hour)
+	db.PutSys(status.ServerStatus{Host: "new"})
+	base := db.Ver()
+
+	if got := db.ExpireSys(time.Minute); len(got) != 1 || got[0] != "old" {
+		t.Fatalf("ExpireSys = %v", got)
+	}
+	if db.ExpireNet(time.Minute) != 1 || db.ExpireSec(time.Minute) != 1 {
+		t.Fatalf("net/sec expiry did not remove records")
+	}
+
+	sys, net, sec := deltaTrio()
+	if _, ok := db.ChangedSince(base, sys, net, sec); !ok {
+		t.Fatalf("ChangedSince not ok")
+	}
+	if len(sys.Deleted) != 1 || sys.Deleted[0] != "old" {
+		t.Fatalf("sys tombstones = %v, want [old]", sys.Deleted)
+	}
+	if len(net.Deleted) != 1 || net.Deleted[0] != (status.NetKey{From: "old", To: "b"}) {
+		t.Fatalf("net tombstones = %v", net.Deleted)
+	}
+	if len(sec.Deleted) != 1 || sec.Deleted[0] != "old" {
+		t.Fatalf("sec tombstones = %v", sec.Deleted)
+	}
+	// Re-inserting the host clears its tombstone.
+	base = db.Ver()
+	db.PutSys(status.ServerStatus{Host: "old"})
+	if _, ok := db.ChangedSince(base, sys, net, sec); !ok {
+		t.Fatalf("ChangedSince not ok")
+	}
+	if len(sys.Deleted) != 0 || len(sys.Changed) != 1 {
+		t.Fatalf("after re-insert: deleted %v changed %v", sys.Deleted, sys.Changed)
+	}
+}
+
+func TestChangedSinceRefusesUnservableBases(t *testing.T) {
+	db := New()
+	db.PutSys(status.ServerStatus{Host: "a"})
+	sys, net, sec := deltaTrio()
+
+	// A base ahead of the database (source restarted) is unservable.
+	if _, ok := db.ChangedSince(db.Ver()+100, sys, net, sec); ok {
+		t.Fatalf("ChangedSince accepted base ahead of head")
+	}
+	// A whole-table Load discards tombstone history: old bases refused.
+	base := db.Ver()
+	db.Load([]status.ServerStatus{{Host: "b"}}, nil, nil)
+	if _, ok := db.ChangedSince(base, sys, net, sec); ok {
+		t.Fatalf("ChangedSince accepted base predating a Load")
+	}
+	if _, ok := db.ChangedSince(db.Ver(), sys, net, sec); !ok {
+		t.Fatalf("ChangedSince refused current version after Load")
+	}
+}
+
+func TestTombstonePruneForcesResync(t *testing.T) {
+	now := time.Unix(1000, 0)
+	db := NewWithClock(func() time.Time { return now })
+	base := db.Ver()
+	for i := 0; i < maxTombstones+10; i++ {
+		db.PutSec(status.SecLevel{Host: hostN(i)})
+	}
+	now = now.Add(time.Hour)
+	if db.ExpireSec(time.Minute) != maxTombstones+10 {
+		t.Fatalf("expiry count mismatch")
+	}
+	sys, net, sec := deltaTrio()
+	if _, ok := db.ChangedSince(base, sys, net, sec); ok {
+		t.Fatalf("ChangedSince served a base whose tombstones were pruned")
+	}
+}
+
+func hostN(i int) string {
+	return string([]byte{'h', byte('a' + i/676%26), byte('a' + i/26%26), byte('a' + i%26)})
+}
+
+func TestApplySysDeltaMirrorsChangesDeletesRefreshes(t *testing.T) {
+	src := New()
+	dst := New()
+	src.PutSys(status.ServerStatus{Host: "a", Load1: 1})
+	src.PutSys(status.ServerStatus{Host: "b", Load1: 2})
+	sys, net, sec := deltaTrio()
+	src.ChangedSince(0, sys, net, sec)
+	dst.ApplySysDelta(sys.Changed, nil, nil)
+	if dst.SysLen() != 2 {
+		t.Fatalf("after apply: SysLen = %d, want 2", dst.SysLen())
+	}
+
+	epoch := dst.SysView().Epoch
+
+	// Refresh-only delta: epoch must not move.
+	dst.ApplySysDelta(nil, nil, [][]byte{[]byte("a")})
+	if got := dst.SysView().Epoch; got != epoch {
+		t.Fatalf("refresh apply bumped epoch %d -> %d", epoch, got)
+	}
+
+	// Delete propagates and bumps the epoch.
+	dst.ApplySysDelta(nil, [][]byte{[]byte("b")}, nil)
+	if dst.SysLen() != 1 {
+		t.Fatalf("tombstone apply left SysLen = %d", dst.SysLen())
+	}
+	if got := dst.SysView().Epoch; got == epoch {
+		t.Fatalf("delete apply did not bump epoch")
+	}
+
+	// Deleting an absent host or refreshing an unknown one is a no-op.
+	epoch = dst.SysView().Epoch
+	dst.ApplySysDelta(nil, [][]byte{[]byte("zz")}, [][]byte{[]byte("zz")})
+	if got := dst.SysView().Epoch; got != epoch {
+		t.Fatalf("no-op apply bumped epoch")
+	}
+}
+
+func TestApplyNetAndSecDeltas(t *testing.T) {
+	dst := New()
+	dst.ApplyNetDelta([]status.NetMetric{{From: "a", To: "b", Delay: time.Second}}, nil, nil)
+	if _, ok := dst.GetNet("a", "b"); !ok {
+		t.Fatalf("net change not applied")
+	}
+	dst.ApplyNetDelta(nil, []status.NetKeyView{{From: []byte("a"), To: []byte("b")}}, nil)
+	if _, ok := dst.GetNet("a", "b"); ok {
+		t.Fatalf("net tombstone not applied")
+	}
+
+	dst.ApplySecDelta([]status.SecLevel{{Host: "a", Level: 5}}, nil, nil)
+	if r, ok := dst.GetSec("a"); !ok || r.Level.Level != 5 {
+		t.Fatalf("sec change not applied: %v %v", r, ok)
+	}
+	dst.ApplySecDelta(nil, [][]byte{[]byte("a")}, nil)
+	if _, ok := dst.GetSec("a"); ok {
+		t.Fatalf("sec tombstone not applied")
+	}
+}
+
+func TestMergeUpsertsWithoutClobberingOtherSections(t *testing.T) {
+	dst := New()
+	dst.PutSys(status.ServerStatus{Host: "from-b", Load1: 7})
+	dst.PutNet(status.NetMetric{From: "x", To: "y"})
+
+	// A merge from transmitter A must not drop transmitter B's records
+	// the way the historical whole-table Load did.
+	dst.Merge(
+		[]status.ServerStatus{{Host: "from-a", Load1: 1}},
+		nil,
+		[]status.SecLevel{{Host: "from-a", Level: 1}},
+	)
+	if dst.SysLen() != 2 {
+		t.Fatalf("merge clobbered other transmitter's record: SysLen = %d", dst.SysLen())
+	}
+	if _, ok := dst.GetNet("x", "y"); !ok {
+		t.Fatalf("merge clobbered untouched net section")
+	}
+	if r, ok := dst.GetSys("from-b"); !ok || r.Status.Load1 != 7 {
+		t.Fatalf("merge altered unrelated record: %v %v", r, ok)
+	}
+}
+
+func TestMergeSameContentIsRefreshNotEpochBump(t *testing.T) {
+	dst := New()
+	s := status.ServerStatus{Host: "a", Load1: 1}
+	dst.PutSys(s)
+	epoch := dst.SysView().Epoch
+	dst.Merge([]status.ServerStatus{s}, nil, nil)
+	if got := dst.SysView().Epoch; got != epoch {
+		t.Fatalf("same-content merge bumped epoch %d -> %d", epoch, got)
+	}
+}

@@ -9,6 +9,13 @@
 // monitor expires records whose probe has missed several report
 // intervals (§3.2.2), which is how servers leave the pool and how
 // failures are detected.
+//
+// For the delta transport the database additionally keeps a single
+// monotonically increasing version counter. Every mutation — a
+// content change, a same-content refresh, an expiry — advances it and
+// stamps the affected record (or its tombstone), so ChangedSince can
+// answer "what moved after version V" and the transmitter ships only
+// that instead of re-marshalling the whole database each tick.
 package store
 
 import (
@@ -27,18 +34,24 @@ type Clock func() time.Time
 type SysRecord struct {
 	Status    status.ServerStatus
 	UpdatedAt time.Time
+	// Ver is the database version of the record's last content
+	// change; RefVer of its last report (a refresh re-stamps RefVer
+	// and UpdatedAt without touching Ver).
+	Ver, RefVer uint64
 }
 
 // NetRecord is a network metric plus its measurement time.
 type NetRecord struct {
-	Metric    status.NetMetric
-	UpdatedAt time.Time
+	Metric      status.NetMetric
+	UpdatedAt   time.Time
+	Ver, RefVer uint64
 }
 
 // SecRecord is a security level plus its report time.
 type SecRecord struct {
-	Level     status.SecLevel
-	UpdatedAt time.Time
+	Level       status.SecLevel
+	UpdatedAt   time.Time
+	Ver, RefVer uint64
 }
 
 // SysSnapshot is an immutable, epoch-versioned view of the server
@@ -48,22 +61,48 @@ type SecRecord struct {
 // table or holding any lock. Records is sorted by host and shared:
 // callers must treat it as read-only.
 type SysSnapshot struct {
-	// Epoch increments on every mutation of the sys table; two
-	// snapshots with the same epoch have identical contents.
+	// Epoch increments on every content mutation of the sys table:
+	// two snapshots with the same epoch hold the same hosts with the
+	// same status values. A same-content refresh re-stamps UpdatedAt
+	// without advancing the epoch, so selection memoized against an
+	// epoch stays valid across idle probe ticks.
 	Epoch   uint64
 	Records []SysRecord
 }
+
+// maxTombstones bounds the per-table tombstone maps. When a table
+// exceeds it the tombstones are dropped wholesale and the deletion
+// floor advances, forcing mirrors behind the floor onto a full
+// resync; a sequence of 4096 expiries without one intervening resync
+// is already a pathological fleet.
+const maxTombstones = 4096
 
 // DB is the full status database shared by the monitors, the
 // transmitter/receiver pair and the wizard.
 type DB struct {
 	mu    sync.RWMutex
 	clock Clock
-	sys   map[string]SysRecord // keyed by server host
-	net   map[string]NetRecord // keyed by From+"→"+To
-	sec   map[string]SecRecord // keyed by host
+	sys   map[string]*SysRecord // keyed by server host
+	net   map[string]*NetRecord // keyed by From+"\x00"+To
+	sec   map[string]*SecRecord // keyed by host
 
-	// epoch counts sys mutations; guarded by mu.
+	// ver is the database-wide mutation counter; guarded by mu.
+	ver uint64
+	// Tombstones map deleted keys to the version of the deletion, so
+	// expiries propagate through deltas. Guarded by mu.
+	sysTomb map[string]uint64
+	netTomb map[status.NetKey]uint64
+	secTomb map[string]uint64
+	// tombFloor is the highest version whose tombstones may have been
+	// discarded (pruning, or a whole-table Load). ChangedSince refuses
+	// bases below it: such a mirror could miss a deletion and must
+	// take a full snapshot. Guarded by mu.
+	tombFloor uint64
+	// keyBuf assembles composite net keys without allocating; guarded
+	// by mu held for writing.
+	keyBuf []byte
+
+	// epoch counts sys content mutations; guarded by mu.
 	epoch uint64
 	// sysSnap is the current copy-on-write view of sys; nil when a
 	// mutation has invalidated it. Rebuilt lazily on the next read,
@@ -78,19 +117,39 @@ func New() *DB { return NewWithClock(time.Now) }
 // NewWithClock creates an empty database with an injected clock.
 func NewWithClock(c Clock) *DB {
 	return &DB{
-		clock: c,
-		sys:   make(map[string]SysRecord),
-		net:   make(map[string]NetRecord),
-		sec:   make(map[string]SecRecord),
+		clock:   c,
+		sys:     make(map[string]*SysRecord),
+		net:     make(map[string]*NetRecord),
+		sec:     make(map[string]*SecRecord),
+		sysTomb: make(map[string]uint64),
+		netTomb: make(map[status.NetKey]uint64),
+		secTomb: make(map[string]uint64),
 	}
 }
 
 func netKey(from, to string) string { return from + "\x00" + to }
 
-// invalidateSysLocked marks the sys table mutated. Callers hold
-// db.mu for writing.
+// netKeyLocked renders the composite key into the shared scratch
+// buffer. Callers hold db.mu for writing and must not retain the
+// string beyond the map operation it indexes.
+func (db *DB) netKeyLocked(from, to []byte) []byte {
+	db.keyBuf = append(db.keyBuf[:0], from...)
+	db.keyBuf = append(db.keyBuf, 0)
+	db.keyBuf = append(db.keyBuf, to...)
+	return db.keyBuf
+}
+
+// invalidateSysLocked marks the sys table content-mutated. Callers
+// hold db.mu for writing.
 func (db *DB) invalidateSysLocked() {
 	db.epoch++
+	db.sysSnap.Store(nil)
+}
+
+// refreshSysLocked drops the cached snapshot after a timestamp-only
+// refresh: the next SysView rebuild picks up the new UpdatedAt values
+// while the epoch — and any selection memoized against it — stands.
+func (db *DB) refreshSysLocked() {
 	db.sysSnap.Store(nil)
 }
 
@@ -111,7 +170,7 @@ func (db *DB) SysView() *SysSnapshot {
 	}
 	recs := make([]SysRecord, 0, len(db.sys))
 	for _, r := range db.sys {
-		recs = append(recs, r)
+		recs = append(recs, *r)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Status.Host < recs[j].Status.Host })
 	s := &SysSnapshot{Epoch: db.epoch, Records: recs}
@@ -119,11 +178,19 @@ func (db *DB) SysView() *SysSnapshot {
 	return s
 }
 
-// SysEpoch reports the sys table's mutation counter.
+// SysEpoch reports the sys table's content-mutation counter.
 func (db *DB) SysEpoch() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.epoch
+}
+
+// Ver reports the database-wide version counter: the stamp of the
+// latest mutation across all three tables, refreshes included.
+func (db *DB) Ver() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ver
 }
 
 // Now reads the database clock. Selection code uses it to compute
@@ -135,13 +202,33 @@ func (db *DB) Now() time.Time {
 	return db.clock()
 }
 
+// putSysLocked is the shared upsert: a same-content report refreshes
+// the existing record in place (timestamp and RefVer only), a changed
+// one replaces it and bumps the epoch. Callers hold db.mu for
+// writing. Reports whether content changed.
+func (db *DB) putSysLocked(s status.ServerStatus, now time.Time) bool {
+	if r, ok := db.sys[s.Host]; ok && r.Status == s {
+		db.ver++
+		r.UpdatedAt = now
+		r.RefVer = db.ver
+		return false
+	}
+	db.ver++
+	db.sys[s.Host] = &SysRecord{Status: s, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	delete(db.sysTomb, s.Host)
+	return true
+}
+
 // PutSys inserts or updates a server status record (§3.2.2: existing
 // addresses are updated in place, new ones inserted).
 func (db *DB) PutSys(s status.ServerStatus) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.sys[s.Host] = SysRecord{Status: s, UpdatedAt: db.clock()}
-	db.invalidateSysLocked()
+	if db.putSysLocked(s, db.clock()) {
+		db.invalidateSysLocked()
+	} else {
+		db.refreshSysLocked()
+	}
 }
 
 // GetSys returns the record for one host.
@@ -149,7 +236,10 @@ func (db *DB) GetSys(host string) (SysRecord, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	r, ok := db.sys[host]
-	return r, ok
+	if !ok {
+		return SysRecord{}, false
+	}
+	return *r, true
 }
 
 // Sys returns all server records, sorted by host for determinism.
@@ -189,6 +279,8 @@ func (db *DB) SysLen() int {
 // ExpireSys removes server records older than maxAge and returns the
 // expired hosts. The system monitor calls this regularly; an expired
 // server receives no further tasks until its probe resumes (§3.2.2).
+// Each removal leaves a tombstone so mirrors learn of the deletion
+// through deltas.
 func (db *DB) ExpireSys(maxAge time.Duration) []string {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -201,6 +293,11 @@ func (db *DB) ExpireSys(maxAge time.Duration) []string {
 		}
 	}
 	if len(expired) > 0 {
+		db.ver++
+		for _, host := range expired {
+			db.sysTomb[host] = db.ver
+		}
+		db.pruneTombsLocked()
 		db.invalidateSysLocked()
 	}
 	sort.Strings(expired)
@@ -211,7 +308,20 @@ func (db *DB) ExpireSys(maxAge time.Duration) []string {
 func (db *DB) PutNet(m status.NetMetric) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.net[netKey(m.From, m.To)] = NetRecord{Metric: m, UpdatedAt: db.clock()}
+	db.putNetLocked(m, db.clock())
+}
+
+func (db *DB) putNetLocked(m status.NetMetric, now time.Time) {
+	k := netKey(m.From, m.To)
+	if r, ok := db.net[k]; ok && r.Metric == m {
+		db.ver++
+		r.UpdatedAt = now
+		r.RefVer = db.ver
+		return
+	}
+	db.ver++
+	db.net[k] = &NetRecord{Metric: m, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	delete(db.netTomb, status.NetKey{From: m.From, To: m.To})
 }
 
 // GetNet returns the metric for one directed monitor pair.
@@ -219,7 +329,10 @@ func (db *DB) GetNet(from, to string) (NetRecord, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	r, ok := db.net[netKey(from, to)]
-	return r, ok
+	if !ok {
+		return NetRecord{}, false
+	}
+	return *r, true
 }
 
 // Net returns all network records, sorted by (From, To).
@@ -228,7 +341,7 @@ func (db *DB) Net() []NetRecord {
 	defer db.mu.RUnlock()
 	out := make([]NetRecord, 0, len(db.net))
 	for _, r := range db.net {
-		out = append(out, r)
+		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Metric.From != out[j].Metric.From {
@@ -239,7 +352,8 @@ func (db *DB) Net() []NetRecord {
 	return out
 }
 
-// ExpireNet removes network records older than maxAge.
+// ExpireNet removes network records older than maxAge, leaving
+// tombstones.
 func (db *DB) ExpireNet(maxAge time.Duration) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -248,13 +362,21 @@ func (db *DB) ExpireNet(maxAge time.Duration) int {
 	for k, r := range db.net {
 		if r.UpdatedAt.Before(cutoff) {
 			delete(db.net, k)
+			if n == 0 {
+				db.ver++
+			}
+			db.netTomb[status.NetKey{From: r.Metric.From, To: r.Metric.To}] = db.ver
 			n++
 		}
+	}
+	if n > 0 {
+		db.pruneTombsLocked()
 	}
 	return n
 }
 
-// ExpireSec removes security records older than maxAge.
+// ExpireSec removes security records older than maxAge, leaving
+// tombstones.
 func (db *DB) ExpireSec(maxAge time.Duration) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -263,8 +385,15 @@ func (db *DB) ExpireSec(maxAge time.Duration) int {
 	for k, r := range db.sec {
 		if r.UpdatedAt.Before(cutoff) {
 			delete(db.sec, k)
+			if n == 0 {
+				db.ver++
+			}
+			db.secTomb[k] = db.ver
 			n++
 		}
+	}
+	if n > 0 {
+		db.pruneTombsLocked()
 	}
 	return n
 }
@@ -273,7 +402,19 @@ func (db *DB) ExpireSec(maxAge time.Duration) int {
 func (db *DB) PutSec(l status.SecLevel) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.sec[l.Host] = SecRecord{Level: l, UpdatedAt: db.clock()}
+	db.putSecLocked(l, db.clock())
+}
+
+func (db *DB) putSecLocked(l status.SecLevel, now time.Time) {
+	if r, ok := db.sec[l.Host]; ok && r.Level == l {
+		db.ver++
+		r.UpdatedAt = now
+		r.RefVer = db.ver
+		return
+	}
+	db.ver++
+	db.sec[l.Host] = &SecRecord{Level: l, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	delete(db.secTomb, l.Host)
 }
 
 // GetSec returns the security record for one host.
@@ -281,7 +422,10 @@ func (db *DB) GetSec(host string) (SecRecord, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	r, ok := db.sec[host]
-	return r, ok
+	if !ok {
+		return SecRecord{}, false
+	}
+	return *r, true
 }
 
 // Sec returns all security records, sorted by host.
@@ -290,15 +434,41 @@ func (db *DB) Sec() []SecRecord {
 	defer db.mu.RUnlock()
 	out := make([]SecRecord, 0, len(db.sec))
 	for _, r := range db.sec {
-		out = append(out, r)
+		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Level.Host < out[j].Level.Host })
 	return out
 }
 
+// pruneTombsLocked drops a table's tombstones wholesale once it
+// exceeds maxTombstones and raises the deletion floor, pushing any
+// mirror with an older base onto a full resync.
+func (db *DB) pruneTombsLocked() {
+	if len(db.sysTomb) > maxTombstones {
+		db.sysTomb = make(map[string]uint64)
+		db.tombFloor = db.ver
+	}
+	if len(db.netTomb) > maxTombstones {
+		db.netTomb = make(map[status.NetKey]uint64)
+		db.tombFloor = db.ver
+	}
+	if len(db.secTomb) > maxTombstones {
+		db.secTomb = make(map[string]uint64)
+		db.tombFloor = db.ver
+	}
+}
+
 // Snapshot copies the three databases into plain batches, the unit the
 // transmitter ships to the receiver (§3.5.1).
 func (db *DB) Snapshot() (sys []status.ServerStatus, net []status.NetMetric, sec []status.SecLevel) {
+	sys, net, sec, _ = db.SnapshotAt()
+	return sys, net, sec
+}
+
+// SnapshotAt is Snapshot plus the database version the batches
+// represent, read atomically with the copy so a transmitter can
+// resume the delta stream from exactly this point.
+func (db *DB) SnapshotAt() (sys []status.ServerStatus, net []status.NetMetric, sec []status.SecLevel, ver uint64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	sys = make([]status.ServerStatus, 0, len(db.sys))
@@ -321,33 +491,246 @@ func (db *DB) Snapshot() (sys []status.ServerStatus, net []status.NetMetric, sec
 		return net[i].To < net[j].To
 	})
 	sort.Slice(sec, func(i, j int) bool { return sec[i].Host < sec[j].Host })
-	return sys, net, sec
+	return sys, net, sec, db.ver
+}
+
+// ChangedSince fills the three deltas with every mutation stamped
+// after base — changed records, tombstones, and same-content
+// refreshes — and returns the version the deltas bring a mirror to.
+// The deltas' slices are reset and reused, so a per-tick caller
+// allocates nothing once capacities settle. ok is false when base
+// predates retained tombstone history (or lies ahead of this
+// database, as after a source restart): the mirror could miss a
+// deletion, so it must take a full snapshot instead.
+func (db *DB) ChangedSince(base uint64, sys *status.SysDelta, net *status.NetDelta, sec *status.SecDelta) (ver uint64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if base < db.tombFloor || base > db.ver {
+		return db.ver, false
+	}
+	sys.Reset(base, db.ver)
+	net.Reset(base, db.ver)
+	sec.Reset(base, db.ver)
+	if base == db.ver {
+		return db.ver, true
+	}
+	for host, r := range db.sys {
+		if r.Ver > base {
+			sys.Changed = append(sys.Changed, r.Status)
+		} else if r.RefVer > base {
+			sys.Refreshed = append(sys.Refreshed, host)
+		}
+	}
+	for host, v := range db.sysTomb {
+		if v > base {
+			sys.Deleted = append(sys.Deleted, host)
+		}
+	}
+	for _, r := range db.net {
+		if r.Ver > base {
+			net.Changed = append(net.Changed, r.Metric)
+		} else if r.RefVer > base {
+			net.Refreshed = append(net.Refreshed, status.NetKey{From: r.Metric.From, To: r.Metric.To})
+		}
+	}
+	for k, v := range db.netTomb {
+		if v > base {
+			net.Deleted = append(net.Deleted, k)
+		}
+	}
+	for host, r := range db.sec {
+		if r.Ver > base {
+			sec.Changed = append(sec.Changed, r.Level)
+		} else if r.RefVer > base {
+			sec.Refreshed = append(sec.Refreshed, host)
+		}
+	}
+	for host, v := range db.secTomb {
+		if v > base {
+			sec.Deleted = append(sec.Deleted, host)
+		}
+	}
+	sortSysDelta(sys)
+	sortNetDelta(net)
+	sortSecDelta(sec)
+	return db.ver, true
+}
+
+func sortSysDelta(d *status.SysDelta) {
+	sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i].Host < d.Changed[j].Host })
+	sort.Strings(d.Deleted)
+	sort.Strings(d.Refreshed)
+}
+
+func sortNetDelta(d *status.NetDelta) {
+	sort.Slice(d.Changed, func(i, j int) bool {
+		if d.Changed[i].From != d.Changed[j].From {
+			return d.Changed[i].From < d.Changed[j].From
+		}
+		return d.Changed[i].To < d.Changed[j].To
+	})
+	less := func(a, b status.NetKey) bool {
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	}
+	sort.Slice(d.Deleted, func(i, j int) bool { return less(d.Deleted[i], d.Deleted[j]) })
+	sort.Slice(d.Refreshed, func(i, j int) bool { return less(d.Refreshed[i], d.Refreshed[j]) })
+}
+
+func sortSecDelta(d *status.SecDelta) {
+	sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i].Host < d.Changed[j].Host })
+	sort.Strings(d.Deleted)
+	sort.Strings(d.Refreshed)
+}
+
+// ApplySysDelta merges one decoded sys delta into the table: changed
+// records are upserted, tombstoned hosts removed, refreshed hosts
+// re-stamped in place. The deleted and refreshed keys may alias a
+// frame buffer; they are not retained. The snapshot epoch bumps only
+// when membership or content actually moved, so a refresh-only tick
+// leaves the wizard's memoized selections valid.
+func (db *DB) ApplySysDelta(changed []status.ServerStatus, deleted, refreshed [][]byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock()
+	mutated := false
+	for _, s := range changed {
+		if db.putSysLocked(s, now) {
+			mutated = true
+		}
+	}
+	for _, h := range deleted {
+		if _, ok := db.sys[string(h)]; ok {
+			delete(db.sys, string(h))
+			mutated = true
+		}
+	}
+	refreshedAny := false
+	for _, h := range refreshed {
+		if r, ok := db.sys[string(h)]; ok {
+			db.ver++
+			r.UpdatedAt = now
+			r.RefVer = db.ver
+			refreshedAny = true
+		}
+	}
+	if mutated {
+		db.invalidateSysLocked()
+	} else if refreshedAny {
+		db.refreshSysLocked()
+	}
+}
+
+// ApplyNetDelta merges one decoded net delta into the table.
+func (db *DB) ApplyNetDelta(changed []status.NetMetric, deleted, refreshed []status.NetKeyView) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock()
+	for _, m := range changed {
+		db.putNetLocked(m, now)
+	}
+	for _, k := range deleted {
+		delete(db.net, string(db.netKeyLocked(k.From, k.To)))
+	}
+	for _, k := range refreshed {
+		if r, ok := db.net[string(db.netKeyLocked(k.From, k.To))]; ok {
+			db.ver++
+			r.UpdatedAt = now
+			r.RefVer = db.ver
+		}
+	}
+}
+
+// ApplySecDelta merges one decoded sec delta into the table.
+func (db *DB) ApplySecDelta(changed []status.SecLevel, deleted, refreshed [][]byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock()
+	for _, l := range changed {
+		db.putSecLocked(l, now)
+	}
+	for _, h := range deleted {
+		delete(db.sec, string(h))
+	}
+	for _, h := range refreshed {
+		if r, ok := db.sec[string(h)]; ok {
+			db.ver++
+			r.UpdatedAt = now
+			r.RefVer = db.ver
+		}
+	}
+}
+
+// Merge upserts received batches record by record under one lock,
+// without clearing the tables first. The distributed-mode receiver
+// uses it when combining pulls from several transmitters, so one
+// transmitter's full reply cannot clobber the records another,
+// fresher one contributed (the historical whole-table Load did).
+// Records absent from every transmitter age out via the freshness
+// filters instead of vanishing mid-merge.
+func (db *DB) Merge(sys []status.ServerStatus, net []status.NetMetric, sec []status.SecLevel) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clock()
+	mutated, refreshed := false, false
+	for _, s := range sys {
+		if db.putSysLocked(s, now) {
+			mutated = true
+		} else {
+			refreshed = true
+		}
+	}
+	for _, m := range net {
+		db.putNetLocked(m, now)
+	}
+	for _, l := range sec {
+		db.putSecLocked(l, now)
+	}
+	if mutated {
+		db.invalidateSysLocked()
+	} else if refreshed {
+		db.refreshSysLocked()
+	}
 }
 
 // Load replaces whole sections of the database from received batches;
-// the receiver uses it to mirror the transmitter's contents (§3.5.2).
-// Nil slices leave the corresponding section untouched.
+// the receiver uses it to mirror the transmitter's contents on a full
+// snapshot or resync (§3.5.2). Nil slices leave the corresponding
+// section untouched. Replacing a section discards its tombstone
+// history, so the deletion floor advances: deltas can only resume
+// from this version onward.
 func (db *DB) Load(sys []status.ServerStatus, net []status.NetMetric, sec []status.SecLevel) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	now := db.clock()
 	if sys != nil {
-		db.sys = make(map[string]SysRecord, len(sys))
+		db.ver++
+		db.sys = make(map[string]*SysRecord, len(sys))
 		for _, s := range sys {
-			db.sys[s.Host] = SysRecord{Status: s, UpdatedAt: now}
+			db.sys[s.Host] = &SysRecord{Status: s, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
 		}
+		db.sysTomb = make(map[string]uint64)
+		db.tombFloor = db.ver
 		db.invalidateSysLocked()
 	}
 	if net != nil {
-		db.net = make(map[string]NetRecord, len(net))
+		db.ver++
+		db.net = make(map[string]*NetRecord, len(net))
 		for _, m := range net {
-			db.net[netKey(m.From, m.To)] = NetRecord{Metric: m, UpdatedAt: now}
+			db.net[netKey(m.From, m.To)] = &NetRecord{Metric: m, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
 		}
+		db.netTomb = make(map[status.NetKey]uint64)
+		db.tombFloor = db.ver
 	}
 	if sec != nil {
-		db.sec = make(map[string]SecRecord, len(sec))
+		db.ver++
+		db.sec = make(map[string]*SecRecord, len(sec))
 		for _, l := range sec {
-			db.sec[l.Host] = SecRecord{Level: l, UpdatedAt: now}
+			db.sec[l.Host] = &SecRecord{Level: l, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
 		}
+		db.secTomb = make(map[string]uint64)
+		db.tombFloor = db.ver
 	}
 }

@@ -127,6 +127,10 @@ type Options struct {
 	// WizardCacheSize sets the wizard's compiled-requirement cache
 	// bound (0: default, negative: disabled — the seed behaviour).
 	WizardCacheSize int
+	// TransportCompat runs transmitter and receiver in the
+	// thesis-fidelity wire mode: a full three-frame snapshot every
+	// epoch (or pull), no deltas, no snap marks.
+	TransportCompat bool
 }
 
 // Cluster is a running in-process deployment.
@@ -144,6 +148,10 @@ type Cluster struct {
 	// NetMon is the client-side network monitor (nil without
 	// GroupPaths).
 	NetMon *netmon.Monitor
+	// Tx and Recv expose the transport pair, so experiments and chaos
+	// tests can read push/delta/resync counters.
+	Tx   *transport.Transmitter
+	Recv *transport.Receiver
 
 	wizard     *wizard.Wizard
 	sysMonitor *monitor.Monitor
@@ -261,6 +269,9 @@ func Boot(opts Options) (*Cluster, error) {
 	if err != nil {
 		return fail(err)
 	}
+	tx.Compat = opts.TransportCompat
+	recv.Compat = opts.TransportCompat
+	c.Tx, c.Recv = tx, recv
 	if in := opts.TxFaults; in != nil {
 		streamDial := func(network, addr string) (net.Conn, error) {
 			conn, err := net.DialTimeout(network, addr, 2*time.Second)

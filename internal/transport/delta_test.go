@@ -1,0 +1,429 @@
+package transport
+
+// Tests for the delta protocol layered over both transport modes:
+// incremental push/pull, tombstone propagation, unchanged-epoch write
+// skipping, version-gap resync, and the thesis-fidelity compat mode.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+)
+
+func TestCentralizedDeltaPropagatesChangeAndTombstone(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	src := store.NewWithClock(clock)
+	src.PutSys(status.ServerStatus{Host: "keep", Load1: 1})
+	src.PutSys(status.ServerStatus{Host: "doomed", Load1: 2})
+	dst := store.New()
+
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go recv.Run(ctx)
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tx.RunActive(ctx, recv.Addr(), 10*time.Millisecond)
+
+	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 2 })
+
+	// A content change travels as a delta, not a re-shipped snapshot.
+	src.PutSys(status.ServerStatus{Host: "keep", Load1: 9})
+	waitFor(t, 2*time.Second, func() bool {
+		r, ok := dst.GetSys("keep")
+		return ok && r.Status.Load1 == 9
+	})
+	if tx.Deltas() == 0 {
+		t.Errorf("change arrived without any delta push (Sent=%d)", tx.Sent())
+	}
+
+	// An expiry travels as a tombstone: the host vanishes downstream.
+	advance(time.Hour)
+	src.PutSys(status.ServerStatus{Host: "keep", Load1: 9}) // keep alive
+	if got := src.ExpireSys(30 * time.Minute); len(got) != 1 || got[0] != "doomed" {
+		t.Fatalf("ExpireSys = %v, want [doomed]", got)
+	}
+	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 1 })
+	if _, ok := dst.GetSys("keep"); !ok {
+		t.Fatal("surviving host lost during tombstone propagation")
+	}
+}
+
+func TestCentralizedDeltaSkipsUnchangedEpochs(t *testing.T) {
+	src := seedDB()
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go recv.Run(ctx)
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tx.RunActive(ctx, recv.Addr(), 5*time.Millisecond)
+
+	waitFor(t, 2*time.Second, func() bool { return tx.Skipped() >= 1 })
+	applied := recv.Received()
+	skipped := tx.Skipped()
+	waitFor(t, 2*time.Second, func() bool { return tx.Skipped() >= skipped+3 })
+	if got := recv.Received(); got != applied {
+		t.Errorf("receiver applied %d frames across unchanged epochs, want 0", got-applied)
+	}
+	assertMirrored(t, src, dst)
+}
+
+func TestRefreshOnlyEpochPreservesReceiverSysEpoch(t *testing.T) {
+	src := seedDB()
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go recv.Run(ctx)
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tx.RunActive(ctx, recv.Addr(), 5*time.Millisecond)
+	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 2 })
+
+	// Re-reporting identical probe content refreshes timestamps but
+	// must not bump the receiver's SysView epoch — the wizard's
+	// memoized selections stay valid across idle probe ticks.
+	epoch := dst.SysView().Epoch
+	deltas := tx.Deltas()
+	for i := 0; i < 5; i++ {
+		r, _ := src.GetSys("helene")
+		src.PutSys(r.Status)
+		waitFor(t, 2*time.Second, func() bool { return tx.Deltas() > deltas })
+		deltas = tx.Deltas()
+	}
+	waitFor(t, 2*time.Second, func() bool { return tx.Skipped() > 0 || tx.Deltas() > deltas })
+	if got := dst.SysView().Epoch; got != epoch {
+		t.Errorf("refresh-only traffic bumped receiver epoch %d -> %d", epoch, got)
+	}
+}
+
+func TestReceiverForcesResyncOnVersionGap(t *testing.T) {
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go recv.Run(ctx)
+
+	conn, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Anchor the stream at version 10 with a full snapshot + mark.
+	full := status.Frame{Type: status.TypeSystem, Data: status.MarshalSystemBatch([]status.ServerStatus{{Host: "a"}})}
+	if err := status.WriteFrame(conn, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeSnapMark, Data: status.AppendSnapMark(nil, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	// A delta claiming base 15 skips versions 11–15: a gap.
+	d := &status.SysDelta{BaseVer: 15, NewVer: 16, Refreshed: []string{"a"}}
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeSysDelta, Data: status.AppendSysDelta(nil, d)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return recv.Resyncs() == 1 })
+	// The receiver must have dropped the connection so the transmitter
+	// resyncs with a fresh full snapshot.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after version gap")
+	}
+
+	// A delta with no preceding snapshot is refused the same way.
+	conn2, err := net.Dial("tcp", recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := status.WriteFrame(conn2, status.Frame{Type: status.TypeSysDelta, Data: status.AppendSysDelta(nil, d)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return recv.Resyncs() == 2 })
+}
+
+// budgetConn errors every write after the first n, modelling a stream
+// cut mid-snapshot.
+type budgetConn struct {
+	net.Conn
+	writes int
+	budget int
+}
+
+func (c *budgetConn) Write(b []byte) (int, error) {
+	if c.writes >= c.budget {
+		return 0, errors.New("stream cut")
+	}
+	c.writes++
+	return len(b), nil
+}
+
+type nopConn struct{}
+
+func (nopConn) Read(b []byte) (int, error)         { return 0, errors.New("not readable") }
+func (nopConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (nopConn) Close() error                       { return nil }
+func (nopConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (nopConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (nopConn) SetDeadline(t time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(t time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func TestPartialSnapshotCountsAsPartialNotSent(t *testing.T) {
+	tx, err := NewTransmitter(seedDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc encodeState
+	// Each frame takes two writes (header, payload): a budget of 3
+	// dies inside the second frame.
+	conn := &budgetConn{Conn: nopConn{}, budget: 3}
+	if _, err := tx.writeSnapshot(conn, &enc, false); err == nil {
+		t.Fatal("writeSnapshot succeeded over a cut stream")
+	}
+	if tx.Sent() != 0 {
+		t.Errorf("Sent = %d after mid-snapshot failure, want 0", tx.Sent())
+	}
+	if tx.SentPartial() != 1 {
+		t.Errorf("SentPartial = %d, want 1", tx.SentPartial())
+	}
+	// A failure before any byte is on the wire is not a partial.
+	conn2 := &budgetConn{Conn: nopConn{}, budget: 0}
+	if _, err := tx.writeSnapshot(conn2, &enc, false); err == nil {
+		t.Fatal("writeSnapshot succeeded over a dead stream")
+	}
+	if tx.SentPartial() != 1 {
+		t.Errorf("SentPartial = %d after zero-byte failure, want still 1", tx.SentPartial())
+	}
+	// A healthy stream completes and counts once.
+	if _, err := tx.writeSnapshot(nopConn{}, &enc, false); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Sent() != 1 || tx.SentPartial() != 1 {
+		t.Errorf("Sent/SentPartial = %d/%d, want 1/1", tx.Sent(), tx.SentPartial())
+	}
+}
+
+func TestDistributedPullIsIncremental(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+	src := store.NewWithClock(clock)
+	src.PutSys(status.ServerStatus{Host: "helene", Load1: 0.5, Bogomips: 3394.76})
+	src.PutSys(status.ServerStatus{Host: "dione", Load1: 0.1, Bogomips: 4771.02})
+	src.PutNet(status.NetMetric{From: "m1", To: "m2", Delay: 3 * time.Millisecond, Bandwidth: 95e6})
+	src.PutSec(status.SecLevel{Host: "helene", Level: 4})
+	tx, err := NewTransmitter(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go tx.ServePassive(ctx, ln)
+
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String()}
+
+	// First pull: a full snapshot.
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, src, dst)
+	if tx.Sent() != 1 {
+		t.Fatalf("first pull shipped %d full snapshots, want 1", tx.Sent())
+	}
+
+	// Second pull after a change: the reply is a delta, not a
+	// re-shipped database.
+	src.PutSys(status.ServerStatus{Host: "sagit", Bogomips: 1730.15})
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, src, dst)
+	if tx.Sent() != 1 || tx.Deltas() != 1 {
+		t.Errorf("after incremental pull: Sent=%d Deltas=%d, want 1/1", tx.Sent(), tx.Deltas())
+	}
+
+	// Third pull with nothing new: the transmitter skips the payload
+	// entirely and the mirror is untouched.
+	epoch := dst.SysView().Epoch
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Skipped() != 1 {
+		t.Errorf("unchanged pull: Skipped=%d, want 1", tx.Skipped())
+	}
+	if got := dst.SysView().Epoch; got != epoch {
+		t.Errorf("unchanged pull bumped epoch %d -> %d", epoch, got)
+	}
+
+	// An expiry at the source travels to the puller as a tombstone in
+	// the next delta reply.
+	advance(time.Hour)
+	for _, s := range []status.ServerStatus{
+		{Host: "helene", Load1: 0.5, Bogomips: 3394.76},
+		{Host: "sagit", Bogomips: 1730.15},
+	} {
+		src.PutSys(s) // keep alive; dione's probe stays silent
+	}
+	if got := src.ExpireSys(30 * time.Minute); len(got) != 1 || got[0] != "dione" {
+		t.Fatalf("ExpireSys = %v, want [dione]", got)
+	}
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dst.GetSys("dione"); ok {
+		t.Error("expired host survived at the puller")
+	}
+	if dst.SysLen() != 2 {
+		t.Errorf("after tombstone pull: SysLen = %d, want 2", dst.SysLen())
+	}
+}
+
+func TestStalePullReplyCannotClobberFresherRecords(t *testing.T) {
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.PutSys(status.ServerStatus{Host: "x", Load1: 5})
+	recv.pullVers["tx-a"] = pullState{ver: 10, synced: true}
+
+	// A full reply carrying version 5 — older than the version already
+	// mirrored from this transmitter — must be discarded, not merged.
+	stale := &pullReply{
+		full:    true,
+		sys:     []status.ServerStatus{{Host: "x", Load1: 1}},
+		ver:     5,
+		hasMark: true,
+	}
+	if err := recv.applyPull("tx-a", 0, stale); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := dst.GetSys("x"); r.Status.Load1 != 5 {
+		t.Errorf("stale full reply clobbered fresher record: Load1 = %v", r.Status.Load1)
+	}
+	if st := recv.pullVers["tx-a"]; st.ver != 10 {
+		t.Errorf("stale reply moved mirrored version to %d", st.ver)
+	}
+
+	// A delta computed against a base we no longer mirror is dropped
+	// and the transmitter state reset so the next pull resyncs.
+	mismatched := &pullReply{delta: true, ver: 12, hasMark: true}
+	mismatched.sysV.Changed = []status.ServerStatus{{Host: "x", Load1: 0}}
+	if err := recv.applyPull("tx-a", 7, mismatched); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := dst.GetSys("x"); r.Status.Load1 != 5 {
+		t.Errorf("mismatched delta applied: Load1 = %v", r.Status.Load1)
+	}
+	if st := recv.pullVers["tx-a"]; st.synced {
+		t.Error("mismatched delta left transmitter state synced")
+	}
+	if recv.Resyncs() != 1 {
+		t.Errorf("Resyncs = %d, want 1", recv.Resyncs())
+	}
+}
+
+func TestCompatModeSpeaksThesisProtocol(t *testing.T) {
+	t.Run("centralized", func(t *testing.T) {
+		src := seedDB()
+		dst := store.New()
+		recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv.Compat = true
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go recv.Run(ctx)
+		tx, err := NewTransmitter(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Compat = true
+		go tx.RunActive(ctx, recv.Addr(), 10*time.Millisecond)
+
+		waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 2 })
+		src.PutSys(status.ServerStatus{Host: "sagit"})
+		waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 3 })
+		assertMirrored(t, src, dst)
+		// Every epoch re-ships the full database, like the thesis.
+		if tx.Sent() < 2 {
+			t.Errorf("compat Sent = %d, want ≥ 2", tx.Sent())
+		}
+		if tx.Deltas() != 0 {
+			t.Errorf("compat mode shipped %d deltas", tx.Deltas())
+		}
+	})
+	t.Run("distributed", func(t *testing.T) {
+		src := seedDB()
+		tx, err := NewTransmitter(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Compat = true
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go tx.ServePassive(ctx, ln)
+
+		dst := store.New()
+		recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv.Compat = true
+		for i := 0; i < 2; i++ {
+			if err := recv.PullFrom([]string{ln.Addr().String()}, time.Second); err != nil {
+				t.Fatal(err)
+			}
+			assertMirrored(t, src, dst)
+		}
+		if tx.Sent() != 2 || tx.Deltas() != 0 {
+			t.Errorf("compat pulls: Sent=%d Deltas=%d, want 2/0", tx.Sent(), tx.Deltas())
+		}
+	})
+}

@@ -13,6 +13,20 @@
 //     snapshot only when asked (a TypeRequest frame), so sparse
 //     deployments with rare requests pay no standing network load.
 //
+// On top of both modes sits a delta protocol. The thesis re-ships the
+// full database every epoch (§4.4); here a stream starts with a full
+// snapshot closed by a TypeSnapMark frame carrying the database
+// version, and subsequent epochs carry only TypeSysDelta /
+// TypeNetDelta / TypeSecDelta frames — records that changed since the
+// receiver's version, tombstones for expired ones, and keys whose
+// content was re-reported unchanged. An epoch in which nothing moved
+// sends nothing at all. The receiver validates continuity by version
+// and drops the connection on any gap, which makes the transmitter's
+// reconnect path (a fresh full snapshot) the resync mechanism; a
+// periodic full snapshot bounds how long a silent divergence could
+// last. Setting Compat on both ends restores the thesis wire format
+// exactly: full snapshots every epoch and nothing else.
+//
 // The thesis ships raw structs and requires identical endianness on
 // both machines; the status package's explicit binary codec removes
 // that restriction without changing the framing.
@@ -25,6 +39,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -33,11 +48,40 @@ import (
 	"smartsock/internal/store"
 )
 
+// defaultResyncEvery is how many delta epochs a transmitter sends
+// before refreshing the receiver with an unsolicited full snapshot.
+const defaultResyncEvery = 64
+
+// encodeState is the per-connection reusable encode state: one append
+// buffer whose capacity settles at the largest frame the connection
+// has sent (so steady-state epochs allocate nothing) and the three
+// delta structs ChangedSince fills in place. Each connection owns its
+// own state — sessions never share buffers, so no lock guards them.
+type encodeState struct {
+	buf  []byte
+	sysD status.SysDelta
+	netD status.NetDelta
+	secD status.SecDelta
+}
+
 // Transmitter serialises the local status database toward receivers.
 type Transmitter struct {
 	db     *store.DB
 	logger *log.Logger
-	sent   atomic.Uint64 // snapshots shipped
+
+	// Compat restores the thesis wire format: a full three-frame
+	// snapshot every epoch, no snap marks, no deltas. The matching
+	// receiver must run with Compat set too.
+	Compat bool
+	// ResyncEvery is the number of delta epochs between unsolicited
+	// full snapshots on a push stream; 0 means defaultResyncEvery.
+	ResyncEvery int
+
+	sent        atomic.Uint64 // complete full snapshots shipped
+	sentPartial atomic.Uint64 // snapshots aborted by a mid-write error
+	deltas      atomic.Uint64 // complete delta epochs shipped
+	skipped     atomic.Uint64 // unchanged epochs where no write happened
+
 	// Dial opens the push connection; nil means net.DialTimeout. The
 	// chaos layer wraps stall/reset faults around it.
 	Dial func(network, addr string) (net.Conn, error)
@@ -51,33 +95,146 @@ func NewTransmitter(db *store.DB, logger *log.Logger) (*Transmitter, error) {
 	return &Transmitter{db: db, logger: logger}, nil
 }
 
-// Sent reports how many snapshots have been shipped.
+// Sent reports how many complete full snapshots have been shipped. A
+// snapshot whose write died between frames is not counted here — it
+// shows up in SentPartial instead.
 func (t *Transmitter) Sent() uint64 { return t.sent.Load() }
 
-// snapshotFrames renders the current database as the three frames of
-// one snapshot.
-func (t *Transmitter) snapshotFrames() []status.Frame {
-	sys, net, sec := t.db.Snapshot()
-	return []status.Frame{
-		{Type: status.TypeSystem, Data: status.MarshalSystemBatch(sys)},
-		{Type: status.TypeNetwork, Data: status.MarshalNetBatch(net)},
-		{Type: status.TypeSecurity, Data: status.MarshalSecBatch(sec)},
+// SentPartial reports how many snapshot writes failed after at least
+// one frame was already on the wire.
+func (t *Transmitter) SentPartial() uint64 { return t.sentPartial.Load() }
+
+// Deltas reports how many delta epochs have been shipped.
+func (t *Transmitter) Deltas() uint64 { return t.deltas.Load() }
+
+// Skipped reports how many epochs carried no change at all, where the
+// transmitter skipped the network write entirely.
+func (t *Transmitter) Skipped() uint64 { return t.skipped.Load() }
+
+// Pushed reports all complete pushes: full snapshots plus delta
+// epochs.
+func (t *Transmitter) Pushed() uint64 { return t.Sent() + t.Deltas() }
+
+func (t *Transmitter) resyncEvery() int {
+	if t.ResyncEvery > 0 {
+		return t.ResyncEvery
 	}
+	return defaultResyncEvery
 }
 
-// writeSnapshot sends one full snapshot over a connection.
-func (t *Transmitter) writeSnapshot(conn net.Conn) error {
-	for _, f := range t.snapshotFrames() {
-		if err := status.WriteFrame(conn, f); err != nil {
-			return err
+// writeSnapshot sends one full snapshot over a connection, reusing
+// enc.buf across the three frames (and across epochs: its capacity is
+// pre-sized by the previous epoch's frame lengths). With mark set it
+// closes the snapshot with a TypeSnapMark frame and returns the
+// database version the receiver now mirrors. A complete snapshot
+// counts toward sent; one that dies after the first byte counts
+// toward sentPartial, never toward sent.
+func (t *Transmitter) writeSnapshot(conn net.Conn, enc *encodeState, mark bool) (uint64, error) {
+	sys, net, sec, ver := t.db.SnapshotAt()
+	wrote := false
+	fail := func(err error) (uint64, error) {
+		if wrote {
+			t.sentPartial.Add(1)
+		}
+		return 0, err
+	}
+	enc.buf = status.AppendSystemBatch(enc.buf[:0], sys)
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeSystem, Data: enc.buf}); err != nil {
+		return fail(err)
+	}
+	wrote = true
+	enc.buf = status.AppendNetBatch(enc.buf[:0], net)
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeNetwork, Data: enc.buf}); err != nil {
+		return fail(err)
+	}
+	enc.buf = status.AppendSecBatch(enc.buf[:0], sec)
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeSecurity, Data: enc.buf}); err != nil {
+		return fail(err)
+	}
+	if mark {
+		enc.buf = status.AppendSnapMark(enc.buf[:0], ver)
+		if err := status.WriteFrame(conn, status.Frame{Type: status.TypeSnapMark, Data: enc.buf}); err != nil {
+			return fail(err)
 		}
 	}
 	t.sent.Add(1)
+	return ver, nil
+}
+
+// writeDeltas sends the non-empty delta frames already staged in enc.
+// All three share one [base, new] version pair, which is how the
+// receiver tells "next frame of this epoch" from a gap.
+func (t *Transmitter) writeDeltas(conn net.Conn, enc *encodeState) error {
+	if !enc.sysD.Empty() {
+		enc.buf = status.AppendSysDelta(enc.buf[:0], &enc.sysD)
+		if err := status.WriteFrame(conn, status.Frame{Type: status.TypeSysDelta, Data: enc.buf}); err != nil {
+			return err
+		}
+	}
+	if !enc.netD.Empty() {
+		enc.buf = status.AppendNetDelta(enc.buf[:0], &enc.netD)
+		if err := status.WriteFrame(conn, status.Frame{Type: status.TypeNetDelta, Data: enc.buf}); err != nil {
+			return err
+		}
+	}
+	if !enc.secD.Empty() {
+		enc.buf = status.AppendSecDelta(enc.buf[:0], &enc.secD)
+		if err := status.WriteFrame(conn, status.Frame{Type: status.TypeSecDelta, Data: enc.buf}); err != nil {
+			return err
+		}
+	}
+	t.deltas.Add(1)
 	return nil
 }
 
-// RunActive implements centralized mode: push a snapshot to the
-// receiver every interval until the context is cancelled. Connection
+// pushSession is the per-connection state of one centralized-mode
+// push stream: the version the receiver mirrors and how many delta
+// epochs have passed since the last full snapshot.
+type pushSession struct {
+	enc       encodeState
+	base      uint64
+	synced    bool
+	sinceFull int
+}
+
+// pushEpoch ships one epoch over an established stream: a full
+// snapshot when the stream is new, overdue for its periodic resync or
+// the store can no longer serve the receiver's base; otherwise the
+// delta since base, or nothing at all when the database is unchanged.
+func (t *Transmitter) pushEpoch(conn net.Conn, s *pushSession) error {
+	if t.Compat {
+		_, err := t.writeSnapshot(conn, &s.enc, false)
+		return err
+	}
+	if s.synced && s.sinceFull < t.resyncEvery() {
+		ver, ok := t.db.ChangedSince(s.base, &s.enc.sysD, &s.enc.netD, &s.enc.secD)
+		if ok {
+			s.sinceFull++
+			if s.enc.sysD.Empty() && s.enc.netD.Empty() && s.enc.secD.Empty() {
+				t.skipped.Add(1)
+				return nil
+			}
+			if err := t.writeDeltas(conn, &s.enc); err != nil {
+				return err
+			}
+			s.base = ver
+			return nil
+		}
+	}
+	ver, err := t.writeSnapshot(conn, &s.enc, true)
+	if err != nil {
+		s.synced = false
+		return err
+	}
+	s.base = ver
+	s.synced = true
+	s.sinceFull = 0
+	return nil
+}
+
+// RunActive implements centralized mode: push to the receiver every
+// interval until the context is cancelled — a full snapshot when a
+// connection is (re)established and deltas thereafter. Connection
 // failures are logged and redialed with bounded exponential backoff —
 // a dead receiver is not hammered every tick, and the first successful
 // push restores the normal cadence.
@@ -89,6 +246,7 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 	timer := time.NewTimer(interval)
 	defer timer.Stop()
 	var conn net.Conn
+	var sess pushSession
 	defer func() {
 		if conn != nil {
 			_ = conn.Close()
@@ -102,10 +260,13 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 				t.logf("transmitter: dial %s: %v", receiverAddr, err)
 			} else {
 				conn = c
+				// A fresh connection mirrors nothing yet: start it
+				// with a full snapshot, whatever the session held.
+				sess.synced = false
 			}
 		}
 		if conn != nil {
-			if err := t.writeSnapshot(conn); err != nil {
+			if err := t.pushEpoch(conn, &sess); err != nil {
 				t.logf("transmitter: push: %v", err)
 				// The push error is already logged; redial after backoff.
 				_ = conn.Close()
@@ -141,8 +302,11 @@ func (t *Transmitter) dial(addr string) (net.Conn, error) {
 }
 
 // ServePassive implements distributed mode: listen for TypeRequest
-// frames and answer each with a snapshot. It returns when the
-// context is cancelled.
+// frames and answer each. A thesis-style empty request (and any
+// request in Compat mode) gets a full snapshot; a request carrying
+// the puller's base version gets the delta since that base — or a
+// full snapshot when the base is no longer servable — closed by a
+// TypeSnapMark. It returns when the context is cancelled.
 func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 	go func() {
 		<-ctx.Done()
@@ -159,11 +323,15 @@ func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
+			var enc encodeState
+			var rbuf []byte
 			for {
 				if err := c.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
 					return
 				}
-				f, err := status.ReadFrame(c)
+				var f status.Frame
+				var err error
+				f, rbuf, err = status.ReadFrameInto(c, rbuf)
 				if err != nil {
 					return
 				}
@@ -171,7 +339,7 @@ func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 					t.logf("transmitter: unexpected frame %v in passive mode", f.Type)
 					return
 				}
-				if err := t.writeSnapshot(c); err != nil {
+				if err := t.answerPull(c, f.Data, &enc); err != nil {
 					t.logf("transmitter: reply: %v", err)
 					return
 				}
@@ -180,17 +348,68 @@ func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 	}
 }
 
+// answerPull serves one distributed-mode request on an established
+// connection.
+func (t *Transmitter) answerPull(conn net.Conn, req []byte, enc *encodeState) error {
+	if t.Compat {
+		_, err := t.writeSnapshot(conn, enc, false)
+		return err
+	}
+	base, err := status.ParsePullRequest(req)
+	if err != nil {
+		return err
+	}
+	if base > 0 {
+		ver, ok := t.db.ChangedSince(base, &enc.sysD, &enc.netD, &enc.secD)
+		if ok {
+			if !(enc.sysD.Empty() && enc.netD.Empty() && enc.secD.Empty()) {
+				if err := t.writeDeltas(conn, enc); err != nil {
+					return err
+				}
+			} else {
+				t.skipped.Add(1)
+			}
+			enc.buf = status.AppendSnapMark(enc.buf[:0], ver)
+			return status.WriteFrame(conn, status.Frame{Type: status.TypeSnapMark, Data: enc.buf})
+		}
+	}
+	_, err = t.writeSnapshot(conn, enc, true)
+	return err
+}
+
 // Receiver mirrors transmitter snapshots into a local database for
 // the wizard (§3.5.2).
 type Receiver struct {
-	db       *store.DB
-	ln       net.Listener
-	logger   *log.Logger
+	db     *store.DB
+	ln     net.Listener
+	logger *log.Logger
+
+	// Compat restores the thesis pull protocol: empty requests, a
+	// whole-table load of exactly three reply frames, no versioning.
+	Compat bool
+
 	received atomic.Uint64 // frames applied
 	torn     atomic.Uint64 // connections dropped mid-frame
+	resyncs  atomic.Uint64 // delta continuity violations forcing resync
+
+	// pullMu guards pullVers and serialises delta/merge application of
+	// pull replies, so two concurrent pulls from the same transmitter
+	// cannot interleave an older reply over a newer one. Network reads
+	// happen outside it.
+	pullMu   sync.Mutex
+	pullVers map[string]pullState
+
 	// Dial opens distributed-mode pull connections; nil means
 	// net.DialTimeout. The chaos layer wraps faults around it.
 	Dial func(network, addr string) (net.Conn, error)
+}
+
+// pullState is what the receiver remembers about one passive
+// transmitter between pulls: the version of that transmitter's
+// database it already mirrors.
+type pullState struct {
+	ver    uint64
+	synced bool
 }
 
 // NewReceiver binds the receiver's listener; addr may use port 0.
@@ -202,7 +421,7 @@ func NewReceiver(db *store.DB, addr string, logger *log.Logger) (*Receiver, erro
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
 	}
-	return &Receiver{db: db, ln: ln, logger: logger}, nil
+	return &Receiver{db: db, ln: ln, logger: logger, pullVers: make(map[string]pullState)}, nil
 }
 
 // Addr reports the bound address.
@@ -216,6 +435,25 @@ func (r *Receiver) Received() uint64 { return r.received.Load() }
 // link, as opposed to a clean close between frames. Historically both
 // looked like a normal disconnect, hiding real faults from operators.
 func (r *Receiver) Torn() uint64 { return r.torn.Load() }
+
+// Resyncs reports how many times delta continuity broke — a version
+// gap or a delta before any snapshot — forcing the connection closed
+// so the transmitter's reconnect resyncs it with a full snapshot.
+func (r *Receiver) Resyncs() uint64 { return r.resyncs.Load() }
+
+// connState is the per-connection decode state of one push stream:
+// the version this stream has mirrored so far plus reusable read and
+// parse buffers, so a steady delta stream applies without per-frame
+// allocation.
+type connState struct {
+	buf      []byte
+	sysV     status.SysDeltaView
+	netV     status.NetDeltaView
+	secV     status.SecDeltaView
+	ver      uint64
+	epochTop uint64 // NewVer of the epoch currently being applied
+	synced   bool
+}
 
 // Run accepts transmitter connections (centralized mode) until the
 // context is cancelled.
@@ -239,11 +477,14 @@ func (r *Receiver) Run(ctx context.Context) error {
 			// a transmitter keeps feeding a ghost after restart.
 			stop := context.AfterFunc(ctx, func() { _ = c.Close() })
 			defer stop()
+			var cs connState
 			for {
-				f, err := status.ReadFrame(c)
+				var f status.Frame
+				var err error
+				f, cs.buf, err = status.ReadFrameInto(c, cs.buf)
 				if err != nil {
 					// io.EOF before a header byte is the transmitter
-					// closing cleanly between snapshots, and net.ErrClosed
+					// closing cleanly between frames, and net.ErrClosed
 					// is our own shutdown. Anything else — notably a
 					// wrapped io.ErrUnexpectedEOF — means the stream died
 					// mid-frame: count and report it instead of passing it
@@ -254,7 +495,7 @@ func (r *Receiver) Run(ctx context.Context) error {
 					}
 					return
 				}
-				if err := r.apply(f); err != nil {
+				if err := r.apply(f, &cs); err != nil {
 					r.logf("receiver: %v", err)
 					return
 				}
@@ -263,9 +504,14 @@ func (r *Receiver) Run(ctx context.Context) error {
 	}
 }
 
-// apply loads one frame's batch into the corresponding database
-// section.
-func (r *Receiver) apply(f status.Frame) error {
+// errResync marks a delta continuity violation: the connection must
+// close so the transmitter's reconnect delivers a full snapshot.
+var errResync = errors.New("transport: delta continuity broken, forcing resync")
+
+// apply loads one frame into the database: full batch frames replace
+// a section, snap marks anchor the stream's version, delta frames
+// merge incrementally. Returning an error closes the connection.
+func (r *Receiver) apply(f status.Frame, cs *connState) error {
 	switch f.Type {
 	case status.TypeSystem:
 		recs, err := status.UnmarshalSystemBatch(f.Data)
@@ -285,6 +531,37 @@ func (r *Receiver) apply(f status.Frame) error {
 			return err
 		}
 		r.db.Load(nil, nil, recs)
+	case status.TypeSnapMark:
+		ver, err := status.ParseSnapMark(f.Data)
+		if err != nil {
+			return err
+		}
+		cs.ver, cs.epochTop = ver, ver
+		cs.synced = true
+	case status.TypeSysDelta:
+		if err := cs.sysV.Parse(f.Data); err != nil {
+			return err
+		}
+		if err := r.admitDelta(cs, cs.sysV.BaseVer, cs.sysV.NewVer); err != nil {
+			return err
+		}
+		r.db.ApplySysDelta(cs.sysV.Changed, cs.sysV.Deleted, cs.sysV.Refreshed)
+	case status.TypeNetDelta:
+		if err := cs.netV.Parse(f.Data); err != nil {
+			return err
+		}
+		if err := r.admitDelta(cs, cs.netV.BaseVer, cs.netV.NewVer); err != nil {
+			return err
+		}
+		r.db.ApplyNetDelta(cs.netV.Changed, cs.netV.Deleted, cs.netV.Refreshed)
+	case status.TypeSecDelta:
+		if err := cs.secV.Parse(f.Data); err != nil {
+			return err
+		}
+		if err := r.admitDelta(cs, cs.secV.BaseVer, cs.secV.NewVer); err != nil {
+			return err
+		}
+		r.db.ApplySecDelta(cs.secV.Changed, cs.secV.Deleted, cs.secV.Refreshed)
 	default:
 		return fmt.Errorf("transport: unexpected frame type %v", f.Type)
 	}
@@ -292,21 +569,234 @@ func (r *Receiver) apply(f status.Frame) error {
 	return nil
 }
 
+// admitDelta validates one delta frame's version continuity. The
+// frames of one epoch share a [base, new] pair: the first moves the
+// stream from ver to NewVer, the rest must repeat the same pair. Any
+// other combination is a gap — some epoch was lost — and the stream
+// cannot be trusted until a full snapshot re-anchors it.
+func (r *Receiver) admitDelta(cs *connState, base, newVer uint64) error {
+	if !cs.synced {
+		r.resyncs.Add(1)
+		return fmt.Errorf("%w: delta before snapshot", errResync)
+	}
+	switch {
+	case base == cs.ver && newVer >= base:
+		// First frame of a new epoch.
+		cs.epochTop = newVer
+		cs.ver = newVer
+		return nil
+	case base < cs.ver && cs.ver == cs.epochTop && newVer == cs.epochTop:
+		// Another frame of the epoch we are already applying.
+		return nil
+	default:
+		cs.synced = false
+		r.resyncs.Add(1)
+		return fmt.Errorf("%w: at %d, frame covers [%d, %d]", errResync, cs.ver, base, newVer)
+	}
+}
+
 // PullFrom implements the distributed-mode update: ask each passive
-// transmitter for a snapshot and merge all replies. The wizard calls
-// this when a user request arrives (§3.5.2). Unreachable
-// transmitters are reported but do not abort the pull.
+// transmitter for what changed since the last pull (a full snapshot
+// on the first) and merge the replies record by record. The wizard
+// calls this when a user request arrives (§3.5.2). Unreachable
+// transmitters are reported but do not abort the pull. In Compat mode
+// the thesis protocol is used instead: empty requests, whole-table
+// loads.
 func (r *Receiver) PullFrom(transmitters []string, timeout time.Duration) error {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
+	if r.Compat {
+		return r.pullFromCompat(transmitters, timeout)
+	}
+	var firstErr error
+	applied := false
+	for _, addr := range transmitters {
+		if err := r.pullOne(addr, timeout); err != nil {
+			r.logf("receiver: pull %s: %v", addr, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		applied = true
+	}
+	if applied || firstErr == nil {
+		return nil
+	}
+	return fmt.Errorf("transport: pull failed everywhere: %w", firstErr)
+}
+
+// pullBase reads the version already mirrored from one transmitter.
+func (r *Receiver) pullBase(addr string) uint64 {
+	r.pullMu.Lock()
+	defer r.pullMu.Unlock()
+	if st, ok := r.pullVers[addr]; ok && st.synced {
+		return st.ver
+	}
+	return 0
+}
+
+// pullReply is everything one pull staged before applying: either
+// full batches or parsed delta views, never applied until the closing
+// snap mark proves the reply complete — a connection dying
+// mid-snapshot must not leak half a server list into the wizard's
+// view alongside a healthy reply.
+type pullReply struct {
+	full     bool
+	sys      []status.ServerStatus
+	net      []status.NetMetric
+	sec      []status.SecLevel
+	delta    bool
+	sysV     status.SysDeltaView
+	netV     status.NetDeltaView
+	secV     status.SecDeltaView
+	ver      uint64
+	hasMark  bool
+	deltaTop uint64
+}
+
+// pullOne asks one transmitter for changes since the locally mirrored
+// version and applies the complete reply.
+func (r *Receiver) pullOne(addr string, timeout time.Duration) error {
+	base := r.pullBase(addr)
+	conn, err := r.dialPull(addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := status.WriteFrame(conn, status.Frame{Type: status.TypeRequest, Data: status.AppendPullRequest(nil, base)}); err != nil {
+		return err
+	}
+	var reply pullReply
+	for !reply.hasMark {
+		f, err := status.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				r.torn.Add(1)
+			}
+			return err
+		}
+		if err := r.stagePullFrame(f, base, &reply); err != nil {
+			return err
+		}
+	}
+	return r.applyPull(addr, base, &reply)
+}
+
+// stagePullFrame sorts one reply frame into the staging area.
+func (r *Receiver) stagePullFrame(f status.Frame, base uint64, reply *pullReply) error {
+	checkDelta := func(b, n uint64) error {
+		if b != base {
+			return fmt.Errorf("transport: pull delta base %d, requested %d", b, base)
+		}
+		if reply.delta && n != reply.deltaTop {
+			return fmt.Errorf("transport: pull delta epochs disagree (%d vs %d)", n, reply.deltaTop)
+		}
+		reply.delta, reply.deltaTop = true, n
+		return nil
+	}
+	switch f.Type {
+	case status.TypeSystem:
+		recs, err := status.UnmarshalSystemBatch(f.Data)
+		if err != nil {
+			return err
+		}
+		reply.full, reply.sys = true, recs
+	case status.TypeNetwork:
+		recs, err := status.UnmarshalNetBatch(f.Data)
+		if err != nil {
+			return err
+		}
+		reply.full, reply.net = true, recs
+	case status.TypeSecurity:
+		recs, err := status.UnmarshalSecBatch(f.Data)
+		if err != nil {
+			return err
+		}
+		reply.full, reply.sec = true, recs
+	case status.TypeSysDelta:
+		if err := reply.sysV.Parse(f.Data); err != nil {
+			return err
+		}
+		return checkDelta(reply.sysV.BaseVer, reply.sysV.NewVer)
+	case status.TypeNetDelta:
+		if err := reply.netV.Parse(f.Data); err != nil {
+			return err
+		}
+		return checkDelta(reply.netV.BaseVer, reply.netV.NewVer)
+	case status.TypeSecDelta:
+		if err := reply.secV.Parse(f.Data); err != nil {
+			return err
+		}
+		return checkDelta(reply.secV.BaseVer, reply.secV.NewVer)
+	case status.TypeSnapMark:
+		ver, err := status.ParseSnapMark(f.Data)
+		if err != nil {
+			return err
+		}
+		reply.ver, reply.hasMark = ver, true
+	default:
+		return fmt.Errorf("transport: unexpected frame type %v in pull reply", f.Type)
+	}
+	return nil
+}
+
+// applyPull merges one complete staged reply. The version check under
+// pullMu makes the merge safe against concurrent pulls of the same
+// transmitter: a reply computed against a base another pull has
+// already moved past is discarded rather than applied out of order,
+// and a full reply older than what is already mirrored cannot clobber
+// the fresher records.
+func (r *Receiver) applyPull(addr string, base uint64, reply *pullReply) error {
+	r.pullMu.Lock()
+	defer r.pullMu.Unlock()
+	cur, haveCur := r.pullVers[addr]
+	switch {
+	case reply.full:
+		if haveCur && cur.synced && cur.ver >= reply.ver {
+			// A concurrent pull already brought this transmitter's
+			// state to reply.ver or past it; an older full reply must
+			// not roll fresher records back.
+			return nil
+		}
+		r.db.Merge(reply.sys, reply.net, reply.sec)
+		r.received.Add(3)
+	case reply.delta:
+		if !haveCur || !cur.synced || cur.ver != base {
+			// The base this delta was computed against is no longer
+			// what we mirror (a concurrent pull interleaved); drop it
+			// and let the next pull restart from the current version.
+			r.resyncs.Add(1)
+			r.pullVers[addr] = pullState{}
+			return nil
+		}
+		r.db.ApplySysDelta(reply.sysV.Changed, reply.sysV.Deleted, reply.sysV.Refreshed)
+		r.db.ApplyNetDelta(reply.netV.Changed, reply.netV.Deleted, reply.netV.Refreshed)
+		r.db.ApplySecDelta(reply.secV.Changed, reply.secV.Deleted, reply.secV.Refreshed)
+		r.received.Add(1)
+	default:
+		// An empty reply: the transmitter had nothing newer. Leave the
+		// mirrored version untouched.
+		return nil
+	}
+	r.pullVers[addr] = pullState{ver: reply.ver, synced: true}
+	return nil
+}
+
+// pullFromCompat is the thesis pull: collect full snapshots from all
+// transmitters, then load them wholesale.
+func (r *Receiver) pullFromCompat(transmitters []string, timeout time.Duration) error {
 	var firstErr error
 	var merged mergedBatches
 	for _, addr := range transmitters {
 		// Each pull fills its own batch, merged only on full success:
 		// a connection dying mid-snapshot must not leak half a server
 		// list into the wizard's view alongside a healthy reply.
-		one, err := r.pullOne(addr, timeout)
+		one, err := r.pullOneCompat(addr, timeout)
 		if err != nil {
 			r.logf("receiver: pull %s: %v", addr, err)
 			if firstErr == nil {
@@ -337,7 +827,7 @@ type mergedBatches struct {
 	sec []status.SecLevel
 }
 
-func (r *Receiver) pullOne(addr string, timeout time.Duration) (mergedBatches, error) {
+func (r *Receiver) pullOneCompat(addr string, timeout time.Duration) (mergedBatches, error) {
 	var m mergedBatches
 	conn, err := r.dialPull(addr, timeout)
 	if err != nil {

@@ -72,8 +72,13 @@ func TestCentralizedModePushes(t *testing.T) {
 	// without any request.
 	src.PutSys(status.ServerStatus{Host: "sagit", Bogomips: 1730.15})
 	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 3 })
-	if tx.Sent() < 2 {
-		t.Errorf("Sent = %d, want ≥ 2", tx.Sent())
+	// The first push is a full snapshot; the new record travels as a
+	// delta rather than a re-shipped database.
+	if tx.Pushed() < 2 {
+		t.Errorf("Pushed = %d (Sent=%d Deltas=%d), want ≥ 2", tx.Pushed(), tx.Sent(), tx.Deltas())
+	}
+	if tx.Sent() < 1 {
+		t.Errorf("Sent = %d, want ≥ 1 full snapshot", tx.Sent())
 	}
 }
 

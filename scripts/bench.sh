@@ -1,11 +1,14 @@
 #!/bin/sh
-# bench.sh runs the wizard fast-path benchmarks and writes the
-# headline numbers to BENCH_wizard.json at the repository root:
-# ns/op and allocs/op for the in-process answer pipeline (cached vs
-# the re-parse-everything seed path), req/s for the end-to-end UDP
-# storm in each serving configuration, and the selection engine's
-# evaluation/memoised costs. EXPERIMENTS.md's wizard.qps entry quotes
-# this file.
+# bench.sh runs the wizard fast-path and transport benchmarks and
+# writes the headline numbers to BENCH_wizard.json and
+# BENCH_transport.json at the repository root: ns/op and allocs/op
+# for the in-process answer pipeline (cached vs the
+# re-parse-everything seed path), req/s for the end-to-end UDP storm
+# in each serving configuration, the selection engine's
+# evaluation/memoised costs, and the status-epoch wire/alloc cost of
+# full snapshots versus deltas. EXPERIMENTS.md's wizard.qps and
+# transport.delta entries quote these files; bench_schema.py guards
+# their shape.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s; use 1x for smoke)
 set -eu
@@ -59,3 +62,55 @@ with open("BENCH_wizard.json", "w") as f:
     f.write("\n")
 print("wrote BENCH_wizard.json")
 EOF
+
+echo "== go test -bench TransportEpoch (benchtime=$benchtime) =="
+go test -run=NONE -bench='TransportEpoch' \
+	-benchtime="$benchtime" ./internal/transport/ | tee "$out"
+
+python3 - "$out" <<'EOF'
+import json, re, sys
+
+rows = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$', line)
+    if not m:
+        continue
+    name, _, ns, rest = m.groups()
+    row = {"ns_per_op": float(ns)}
+    for val, unit in re.findall(r'([\d.]+)\s+(B/op|allocs/op|bytes/epoch)', rest):
+        key = {"B/op": "bytes_per_op", "allocs/op": "allocs_per_op",
+               "bytes/epoch": "bytes_per_epoch"}[unit]
+        row[key] = float(val)
+    rows[name.removeprefix("Benchmark")] = row
+
+def ratio(full, lean, field):
+    f = rows.get(f"TransportEpoch/{full}", {}).get(field)
+    l = rows.get(f"TransportEpoch/{lean}", {}).get(field)
+    if f is None or l is None:
+        return None
+    # An idle delta stream rounds to zero once the periodic resync is
+    # amortised away; clamp so the ratio stays finite.
+    return round(f / max(l, 1.0), 1)
+
+doc = {
+    "benchmarks": rows,
+    # One centralized status epoch for a 1000-host fleet, end to end
+    # (encode, wire, receiver apply). full = thesis protocol; idle =
+    # no probe reports between epochs; refresh = every probe
+    # re-reports identical content. The idle/refresh reductions are
+    # the PR's acceptance numbers: both must stay >= 10x.
+    "reduction": {
+        "bytes_idle_vs_full": ratio("full-1000h", "delta-idle-1000h", "bytes_per_epoch"),
+        "bytes_refresh_vs_full": ratio("full-1000h", "delta-refresh-1000h", "bytes_per_epoch"),
+        "allocs_idle_vs_full": ratio("full-1000h", "delta-idle-1000h", "allocs_per_op"),
+        "allocs_refresh_vs_full": ratio("full-1000h", "delta-refresh-1000h", "allocs_per_op"),
+    },
+}
+
+with open("BENCH_transport.json", "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print("wrote BENCH_transport.json")
+EOF
+
+python3 scripts/bench_schema.py BENCH_wizard.json BENCH_transport.json

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Assert the committed BENCH_*.json files keep their schema.
+
+bench.sh regenerates these files; CI and downstream docs
+(EXPERIMENTS.md) read them by key. A bench rename or a parser
+regression silently dropping a metric would otherwise go unnoticed
+until someone quotes a number that no longer exists, so this script
+fails loudly when a required key or metric is missing.
+
+Usage: scripts/bench_schema.py [file ...]   (default: both BENCH files)
+"""
+
+import json
+import sys
+
+# file -> {benchmark key -> required metric fields}, plus required
+# top-level sections.
+SCHEMAS = {
+    "BENCH_wizard.json": {
+        "sections": ["benchmarks", "seed_baseline"],
+        "benchmarks": {
+            "WizardAnswer/cached": ["ns_per_op", "allocs_per_op"],
+            "WizardAnswer/uncached": ["ns_per_op", "allocs_per_op"],
+            "WizardStorm/seq-uncached": ["qps"],
+            "WizardStorm/workers8-cached": ["qps"],
+            "Select": ["ns_per_op", "allocs_per_op"],
+            "SelectMemoized": ["ns_per_op"],
+        },
+    },
+    "BENCH_transport.json": {
+        "sections": ["benchmarks", "reduction"],
+        "benchmarks": {
+            "TransportEpoch/full-1000h": ["ns_per_op", "bytes_per_epoch", "allocs_per_op"],
+            "TransportEpoch/delta-idle-1000h": ["ns_per_op", "bytes_per_epoch", "allocs_per_op"],
+            "TransportEpoch/delta-refresh-1000h": ["ns_per_op", "bytes_per_epoch", "allocs_per_op"],
+            "TransportEpoch/delta-1pct-1000h": ["ns_per_op", "bytes_per_epoch", "allocs_per_op"],
+        },
+        "reduction": [
+            "bytes_idle_vs_full",
+            "bytes_refresh_vs_full",
+            "allocs_idle_vs_full",
+            "allocs_refresh_vs_full",
+        ],
+    },
+}
+
+
+def check(path):
+    name = path.rsplit("/", 1)[-1]
+    schema = SCHEMAS.get(name)
+    if schema is None:
+        return [f"{path}: no schema registered (add one to bench_schema.py)"]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"{path}: {e}"]
+    errs = []
+    for section in schema["sections"]:
+        if section not in doc:
+            errs.append(f"{name}: missing section {section!r}")
+    for bench, fields in schema["benchmarks"].items():
+        row = doc.get("benchmarks", {}).get(bench)
+        if row is None:
+            errs.append(f"{name}: missing benchmark {bench!r}")
+            continue
+        for field in fields:
+            if field not in row:
+                errs.append(f"{name}: {bench} lacks {field!r}")
+    for field in schema.get("reduction", []):
+        if field not in doc.get("reduction", {}):
+            errs.append(f"{name}: reduction lacks {field!r}")
+    return errs
+
+
+def main():
+    files = sys.argv[1:] or list(SCHEMAS)
+    errors = []
+    for path in files:
+        errors += check(path)
+    for e in errors:
+        print("bench_schema:", e, file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"bench_schema: {', '.join(f.rsplit('/', 1)[-1] for f in files)} ok")
+
+
+if __name__ == "__main__":
+    main()
