@@ -9,6 +9,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -361,6 +362,123 @@ func TestStalePullReplyCannotClobberFresherRecords(t *testing.T) {
 	}
 	if recv.Resyncs() != 1 {
 		t.Errorf("Resyncs = %d, want 1", recv.Resyncs())
+	}
+}
+
+// A passive transmitter that restarts resets its version counter: the
+// receiver's next pull still requests the old (large) base, the source
+// refuses the diff and answers with a full snapshot carrying a smaller
+// version. That snapshot must be adopted — with pullVers rebased onto
+// the new counter — not discarded as stale, or the mirror would never
+// update from that transmitter again and its hosts would expire from
+// the wizard's view.
+func TestPullAdoptsFullReplyFromRestartedTransmitter(t *testing.T) {
+	src1 := store.New()
+	for _, h := range []string{"a", "b", "c", "d"} {
+		src1.PutSys(status.ServerStatus{Host: h, Load1: 1})
+	}
+	tx1, err := NewTransmitter(src1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	go tx1.ServePassive(ctx1, ln1)
+
+	// The receiver pulls a stable logical address; the dial hook
+	// routes it to whichever incarnation currently listens, the way a
+	// restarted daemon keeps its host:port.
+	var target atomic.Value
+	target.Store(ln1.Addr().String())
+	dst := store.New()
+	recv, err := NewReceiver(dst, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv.Dial = func(network, _ string) (net.Conn, error) {
+		return net.Dial(network, target.Load().(string))
+	}
+	addrs := []string{"tx-logical"}
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dst.SysLen() != 4 {
+		t.Fatalf("first pull mirrored %d hosts, want 4", dst.SysLen())
+	}
+
+	// Restart: a fresh database whose version counter sits far below
+	// the base the receiver will request.
+	cancel1()
+	src2 := store.New()
+	src2.PutSys(status.ServerStatus{Host: "a", Load1: 9})
+	tx2, err := NewTransmitter(src2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target.Store(ln2.Addr().String())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go tx2.ServePassive(ctx2, ln2)
+
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := dst.GetSys("a"); !ok || r.Status.Load1 != 9 {
+		t.Fatal("restarted transmitter's full snapshot was discarded")
+	}
+	if tx2.Sent() != 1 {
+		t.Errorf("restart pull shipped %d full snapshots, want 1", tx2.Sent())
+	}
+	if recv.Resyncs() != 1 {
+		t.Errorf("restart adoption: Resyncs = %d, want 1", recv.Resyncs())
+	}
+
+	// pullVers must now track the new incarnation's counter, so the
+	// mirror keeps updating incrementally.
+	src2.PutSys(status.ServerStatus{Host: "e", Load1: 2})
+	if err := recv.PullFrom(addrs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dst.GetSys("e"); !ok {
+		t.Error("post-restart pull missed a new host")
+	}
+	if tx2.Deltas() != 1 {
+		t.Errorf("post-restart pull: Deltas = %d, want 1 (incremental)", tx2.Deltas())
+	}
+}
+
+// A snap mark running ahead of the delta frames' NewVer would rebase
+// pullVers past changes the reply never carried, silently skipping
+// them on every later pull; staging must reject the mismatch.
+func TestPullRejectsSnapMarkAheadOfDelta(t *testing.T) {
+	recv, err := NewReceiver(store.New(), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := status.SysDelta{BaseVer: 4, NewVer: 7, Changed: []status.ServerStatus{{Host: "x", Load1: 1}}}
+	var reply pullReply
+	frame := status.Frame{Type: status.TypeSysDelta, Data: status.AppendSysDelta(nil, &d)}
+	if err := recv.stagePullFrame(frame, 4, &reply); err != nil {
+		t.Fatal(err)
+	}
+	ahead := status.Frame{Type: status.TypeSnapMark, Data: status.AppendSnapMark(nil, 9)}
+	if err := recv.stagePullFrame(ahead, 4, &reply); err == nil {
+		t.Fatal("snap mark ahead of the delta epoch was accepted")
+	}
+	matching := status.Frame{Type: status.TypeSnapMark, Data: status.AppendSnapMark(nil, 7)}
+	if err := recv.stagePullFrame(matching, 4, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.hasMark || reply.ver != 7 {
+		t.Fatalf("matching mark not staged: ver=%d hasMark=%v", reply.ver, reply.hasMark)
 	}
 }
 

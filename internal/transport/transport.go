@@ -436,9 +436,12 @@ func (r *Receiver) Received() uint64 { return r.received.Load() }
 // looked like a normal disconnect, hiding real faults from operators.
 func (r *Receiver) Torn() uint64 { return r.torn.Load() }
 
-// Resyncs reports how many times delta continuity broke — a version
-// gap or a delta before any snapshot — forcing the connection closed
-// so the transmitter's reconnect resyncs it with a full snapshot.
+// Resyncs reports how many times delta continuity broke and a full
+// snapshot had to re-anchor a source: a push-stream version gap or a
+// delta before any snapshot (the connection closes so the
+// transmitter's reconnect resyncs it), a pull delta whose base no
+// longer matches the mirror, or a pulled transmitter observed to have
+// restarted with a reset version counter.
 func (r *Receiver) Resyncs() uint64 { return r.resyncs.Load() }
 
 // connState is the per-connection decode state of one push stream:
@@ -738,6 +741,12 @@ func (r *Receiver) stagePullFrame(f status.Frame, base uint64, reply *pullReply)
 		if err != nil {
 			return err
 		}
+		if reply.delta && ver != reply.deltaTop {
+			// The mark's version is what pullVers will record as the
+			// next base; if it ran ahead of the deltas' NewVer the
+			// mirror would silently skip every change in between.
+			return fmt.Errorf("transport: snap mark %d disagrees with delta epoch %d", ver, reply.deltaTop)
+		}
 		reply.ver, reply.hasMark = ver, true
 	default:
 		return fmt.Errorf("transport: unexpected frame type %v in pull reply", f.Type)
@@ -758,11 +767,26 @@ func (r *Receiver) applyPull(addr string, base uint64, reply *pullReply) error {
 	switch {
 	case reply.full:
 		if haveCur && cur.synced && cur.ver >= reply.ver {
-			// A concurrent pull already brought this transmitter's
-			// state to reply.ver or past it; an older full reply must
-			// not roll fresher records back.
-			return nil
+			if cur.ver != base {
+				// A concurrent pull already moved this transmitter's
+				// mirror past the base this reply was computed
+				// against; an older full reply must not roll fresher
+				// records back.
+				return nil
+			}
+			// cur.ver == base: no pull interleaved, yet the reply is a
+			// full snapshot at or below the base we asked to diff
+			// from. The transmitter restarted and its version counter
+			// reset — adopt the snapshot and its new, smaller version.
+			// Discarding it would pin the mirror to a base the source
+			// can never serve again, freezing this transmitter out of
+			// the wizard's view until its hosts expire.
+			r.resyncs.Add(1)
 		}
+		// Merge upserts but never deletes, so hosts the transmitter
+		// pruned from its tombstone table (>4096 expiries between
+		// pulls) can linger here until MaxStatusAge ages them out; see
+		// DESIGN.md "status distribution" for the trade-off.
 		r.db.Merge(reply.sys, reply.net, reply.sec)
 		r.received.Add(3)
 	case reply.delta:
