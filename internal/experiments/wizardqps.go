@@ -124,6 +124,7 @@ func stormOnce(db *store.DB, workers, cacheSize, requests, clients int, datagram
 	}
 	start := time.Now()
 	for c := 0; c < clients; c++ {
+		//lint:ignore leakygo every client sends exactly one value on the buffered errs channel; the receive loop below joins all of them
 		go func(c, count int) {
 			conn, err := net.Dial("udp", w.Addr())
 			if err != nil {

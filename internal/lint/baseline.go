@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// JSONFinding is the wire form of a Finding, used by smartlint -json
+// and by the committed lint/baseline.json. File is repo-relative so
+// the baseline is stable across checkouts; Line is advisory only —
+// baseline matching deliberately ignores it so a finding does not
+// become "new" because unrelated edits moved it a few lines.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ToJSON converts findings to their wire form, making file paths
+// relative to root (typically the module root) where possible.
+func ToJSON(findings []Finding, root string) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, JSONFinding{
+			File:     file,
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON emits findings as indented, deterministically ordered
+// JSON — the exact bytes a baseline file holds.
+func WriteJSON(w io.Writer, findings []JSONFinding) error {
+	// An empty set is an explicit [], not null: the committed baseline
+	// should read as "zero findings", not "no data".
+	sorted := make([]JSONFinding, 0, len(findings))
+	sorted = append(sorted, findings...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sorted)
+}
+
+// ReadBaselineFile loads a baseline written by WriteJSON. A missing
+// file is not an error: it behaves as an empty baseline, so the gate
+// can be adopted before the file is committed.
+func ReadBaselineFile(path string) ([]JSONFinding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []JSONFinding
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// baselineKey identifies a finding for baseline matching: file,
+// analyzer and message, but not line, so pure line drift never breaks
+// the gate.
+type baselineKey struct {
+	file     string
+	analyzer string
+	message  string
+}
+
+// Diff compares current findings against a baseline. fresh holds
+// findings not covered by the baseline (the ones CI fails on); stale
+// holds baseline entries no current finding matches (fixed findings
+// whose entries should be dropped on the next baseline refresh).
+// Matching is multiset: two identical findings need two baseline
+// entries.
+func Diff(current, baseline []JSONFinding) (fresh, stale []JSONFinding) {
+	allowance := make(map[baselineKey]int, len(baseline))
+	for _, b := range baseline {
+		allowance[baselineKey{b.File, b.Analyzer, b.Message}]++
+	}
+	for _, f := range current {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if allowance[k] > 0 {
+			allowance[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, b := range baseline {
+		k := baselineKey{b.File, b.Analyzer, b.Message}
+		if allowance[k] > 0 {
+			allowance[k]--
+			stale = append(stale, b)
+		}
+	}
+	return fresh, stale
+}

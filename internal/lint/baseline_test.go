@@ -1,0 +1,107 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartsock/internal/lint"
+)
+
+func jf(file string, line int, analyzer, msg string) lint.JSONFinding {
+	return lint.JSONFinding{File: file, Line: line, Analyzer: analyzer, Message: msg}
+}
+
+// TestBaselineRoundTrip pins the -json/baseline contract: what
+// WriteJSON emits, ReadBaselineFile loads back, and a baseline equal
+// to the current findings diffs to nothing.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []lint.JSONFinding{
+		jf("internal/a/a.go", 10, "wiretaint", "unchecked make size"),
+		jf("internal/a/a.go", 4, "leakygo", "no shutdown path"),
+		jf("internal/b/b.go", 7, "lockorder", "inversion"),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.WriteJSON(f, findings); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := lint.ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(findings) {
+		t.Fatalf("loaded %d findings, want %d", len(loaded), len(findings))
+	}
+	fresh, stale := lint.Diff(findings, loaded)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round trip not clean: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	baseline := []lint.JSONFinding{
+		jf("a.go", 5, "wiretaint", "old finding"),
+		jf("a.go", 9, "wiretaint", "fixed finding"),
+	}
+	current := []lint.JSONFinding{
+		// Same finding, drifted to another line: still baselined.
+		jf("a.go", 50, "wiretaint", "old finding"),
+		jf("a.go", 12, "framecase", "brand new"),
+	}
+	fresh, stale := lint.Diff(current, baseline)
+	if len(fresh) != 1 || fresh[0].Analyzer != "framecase" {
+		t.Errorf("fresh = %v, want just the framecase finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].Message != "fixed finding" {
+		t.Errorf("stale = %v, want just the fixed finding", stale)
+	}
+
+	// Multiset matching: two identical findings need two entries.
+	dup := []lint.JSONFinding{
+		jf("b.go", 1, "leakygo", "same message"),
+		jf("b.go", 2, "leakygo", "same message"),
+	}
+	fresh, _ = lint.Diff(dup, dup[:1])
+	if len(fresh) != 1 {
+		t.Errorf("duplicate diff: %d fresh, want 1", len(fresh))
+	}
+}
+
+func TestBaselineMissingFile(t *testing.T) {
+	loaded, err := lint.ReadBaselineFile(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must not error: %v", err)
+	}
+	if loaded != nil {
+		t.Fatalf("missing baseline loaded %v, want nil", loaded)
+	}
+	fresh, _ := lint.Diff([]lint.JSONFinding{jf("a.go", 1, "wiretaint", "m")}, loaded)
+	if len(fresh) != 1 {
+		t.Errorf("empty baseline: %d fresh, want 1", len(fresh))
+	}
+}
+
+// TestToJSONRelativizes checks the repo-relative file paths the
+// committed baseline depends on.
+func TestToJSONRelativizes(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("work", "repo")
+	findings := []lint.Finding{
+		{Pos: token.Position{Filename: filepath.Join(root, "internal", "x", "x.go"), Line: 3}, Analyzer: "wiretaint", Message: "m"},
+	}
+	out := lint.ToJSON(findings, root)
+	if out[0].File != "internal/x/x.go" {
+		t.Errorf("in-root file = %q, want internal/x/x.go", out[0].File)
+	}
+	if out[0].Line != 3 {
+		t.Errorf("line = %d, want 3", out[0].Line)
+	}
+}

@@ -50,7 +50,7 @@ var BatchBuf = &Analyzer{
 					if !ok {
 						return true
 					}
-					name, ok := calleeFrom(pass.Pkg.Info, call, "smartsock/internal/status")
+					name, ok := CalleeFrom(pass.Pkg.Info, call, "smartsock/internal/status")
 					if !ok || !batchBufCallees[name] || seen[call.Pos()] {
 						return true
 					}

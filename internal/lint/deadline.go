@@ -35,7 +35,7 @@ func runDeadline(pass *Pass) {
 		return
 	}
 	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+		if IsTestFile(pass.Pkg.Fset, file.Pos()) {
 			continue
 		}
 		for _, decl := range file.Decls {
@@ -70,20 +70,20 @@ func checkDeadlineFunc(pass *Pass, fn *ast.FuncDecl) {
 		ast.Inspect(body, func(node ast.Node) bool {
 			switch x := node.(type) {
 			case *ast.FuncLit:
-				walk(x.Body, hasCtx || hasContextParam(info, x.Type))
+				walk(x.Body, hasCtx || HasContextParam(info, x.Type))
 				return false
 			case *ast.CallExpr:
-				if name, ok := calleeFrom(info, x, "net"); ok {
-					if _, isMethod := receiverExpr(x); isMethod {
+				if name, ok := CalleeFrom(info, x, "net"); ok {
+					if _, isMethod := ReceiverExpr(x); isMethod {
 						if deadlineMethods[name] {
 							sets = append(sets, x.Pos())
 						} else if netReadMethods[name] {
 							reads = append(reads, netRead{pos: x.Pos(), label: name, covered: hasCtx})
 						}
 					}
-				} else if name, ok := calleeFrom(info, x, "io"); ok {
+				} else if name, ok := CalleeFrom(info, x, "io"); ok {
 					if (name == "ReadFull" || name == "ReadAtLeast") && len(x.Args) > 0 {
-						if t := info.TypeOf(x.Args[0]); t != nil && isNetType(t) {
+						if t := info.TypeOf(x.Args[0]); t != nil && IsNetType(t) {
 							reads = append(reads, netRead{pos: x.Pos(), label: "io." + name, covered: hasCtx})
 						}
 					}
@@ -92,7 +92,7 @@ func checkDeadlineFunc(pass *Pass, fn *ast.FuncDecl) {
 			return true
 		})
 	}
-	walk(fn.Body, hasContextParam(info, fn.Type))
+	walk(fn.Body, HasContextParam(info, fn.Type))
 
 	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
 	for _, r := range reads {

@@ -32,7 +32,7 @@ func runErrDrop(pass *Pass) {
 		return
 	}
 	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+		if IsTestFile(pass.Pkg.Fset, file.Pos()) {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -44,11 +44,11 @@ func runErrDrop(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if _, isMethod := receiverExpr(call); !isMethod {
+			if _, isMethod := ReceiverExpr(call); !isMethod {
 				return true
 			}
 			for pkgPath, methods := range errDropMethods {
-				if name, ok := calleeFrom(pass.Pkg.Info, call, pkgPath); ok && methods[name] {
+				if name, ok := CalleeFrom(pass.Pkg.Info, call, pkgPath); ok && methods[name] {
 					pass.Reportf(call.Pos(), "%s error discarded; handle it, or write `_ = x.%s()` to drop it on purpose", name, name)
 				}
 			}

@@ -1,0 +1,376 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NodeKind says how a CFG node's expression or statement is used,
+// which is what the analyzers care about: a comparison in an if
+// condition is a sanitizer, the same comparison as a for-loop
+// condition is a sink (it bounds the iteration count).
+type NodeKind int
+
+const (
+	// KindStmt is an ordinary straight-line statement.
+	KindStmt NodeKind = iota
+	// KindCond is a branch condition: an if condition, a switch tag,
+	// a type-switch assign, or a case-clause expression list.
+	KindCond
+	// KindLoopCond is a for-loop condition, evaluated once per
+	// iteration and therefore a loop bound.
+	KindLoopCond
+	// KindRange is a range statement head (the ranged-over expression
+	// plus the key/value assignment).
+	KindRange
+)
+
+// Node is one statement or control expression in a basic block.
+type Node struct {
+	N    ast.Node
+	Kind NodeKind
+}
+
+// Block is a basic block: nodes executed in order, then a transfer to
+// one of Succs. An empty Succs means the function exits (or the block
+// is the synthetic exit).
+type Block struct {
+	Index int
+	Nodes []Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body. Function
+// literals are not inlined — each literal is its own analysis unit
+// with its own graph.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// builder carries the state of one graph construction.
+type builder struct {
+	g *Graph
+	// cur is the block new nodes append to; nil after a terminating
+	// statement (return, break, ...) until a new block starts.
+	cur *Block
+	// loops is the stack of enclosing break/continue targets.
+	loops []loopFrame
+	// labels maps label names to their loop/switch frame so labeled
+	// break/continue resolve.
+	labels map[string]*loopFrame
+	// pendingLabel is the label attached to the next loop or switch.
+	pendingLabel string
+}
+
+type loopFrame struct {
+	label        string
+	breakTo      *Block
+	continueTo   *Block // nil for switch/select frames
+	isLoop       bool
+	fallthroughT *Block // next case clause body, for fallthrough
+}
+
+// BuildCFG constructs the control-flow graph of body. The graph
+// over-approximates: goto jumps to the function exit, and every
+// switch is assumed able to skip all cases, so facts merged at joins
+// stay sound for the intersection-style analyses built on top.
+func BuildCFG(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: make(map[string]*loopFrame)}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit)
+	}
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// ensure returns the current block, starting a fresh (unreachable)
+// one after a terminator so later statements still get analyzed.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node, kind NodeKind) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, Node{N: n, Kind: kind})
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond, KindCond)
+		head := b.ensure()
+		join := b.newBlock()
+
+		thenBlk := b.newBlock()
+		b.edge(head, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(head, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		condBlk := b.newBlock()
+		exitBlk := b.newBlock()
+		b.edge(b.ensure(), condBlk)
+		if s.Cond != nil {
+			condBlk.Nodes = append(condBlk.Nodes, Node{N: s.Cond, Kind: KindLoopCond})
+		}
+		frame := b.pushLoop(exitBlk, condBlk)
+		bodyBlk := b.newBlock()
+		b.edge(condBlk, bodyBlk)
+		if s.Cond != nil {
+			b.edge(condBlk, exitBlk)
+		}
+		b.cur = bodyBlk
+		b.stmtList(s.Body.List)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, condBlk)
+		}
+		b.popLoop(frame)
+		b.cur = exitBlk
+
+	case *ast.RangeStmt:
+		headBlk := b.newBlock()
+		exitBlk := b.newBlock()
+		b.edge(b.ensure(), headBlk)
+		headBlk.Nodes = append(headBlk.Nodes, Node{N: s, Kind: KindRange})
+		frame := b.pushLoop(exitBlk, headBlk)
+		bodyBlk := b.newBlock()
+		b.edge(headBlk, bodyBlk)
+		b.edge(headBlk, exitBlk)
+		b.cur = bodyBlk
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, headBlk)
+		}
+		b.popLoop(frame)
+		b.cur = exitBlk
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag, KindCond)
+		}
+		b.caseClauses(s.Body.List, func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign, KindCond)
+		b.caseClauses(s.Body.List, func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+
+	case *ast.SelectStmt:
+		head := b.ensure()
+		join := b.newBlock()
+		frame := b.pushSwitch(join)
+		for _, clause := range s.Body.List {
+			comm := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		}
+		// A select with no default blocks until a case fires, but for
+		// dataflow purposes treating it as skippable only weakens
+		// facts, never unsoundly strengthens them.
+		b.edge(head, join)
+		b.popLoop(frame)
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				b.edge(b.ensure(), f.breakTo)
+			} else {
+				b.edge(b.ensure(), b.g.Exit)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				b.edge(b.ensure(), f.continueTo)
+			} else {
+				b.edge(b.ensure(), b.g.Exit)
+			}
+			b.cur = nil
+		case token.GOTO:
+			// Rare in this codebase; approximate as an exit edge.
+			b.edge(b.ensure(), b.g.Exit)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if len(b.loops) > 0 {
+				if t := b.loops[len(b.loops)-1].fallthroughT; t != nil {
+					b.edge(b.ensure(), t)
+				}
+			}
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s, KindStmt)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case nil:
+		// no statement (e.g. empty else)
+
+	default:
+		// DeclStmt, AssignStmt, ExprStmt, SendStmt, IncDecStmt,
+		// GoStmt, DeferStmt, EmptyStmt, ...
+		b.add(s, KindStmt)
+	}
+}
+
+// caseClauses builds the shared switch shape: every clause is entered
+// from the head, the head can also skip straight to the join (a
+// missing default, or a default the analysis treats as skippable —
+// over-approximating control keeps intersection facts sound).
+func (b *builder) caseClauses(list []ast.Stmt, bodyOf func(*ast.CaseClause) []ast.Stmt) {
+	head := b.ensure()
+	join := b.newBlock()
+	frame := b.pushSwitch(join)
+	// Pre-create clause entry blocks so fallthrough can target the
+	// next clause.
+	blocks := make([]*Block, len(list))
+	for i := range list {
+		blocks[i] = b.newBlock()
+	}
+	for i, clause := range list {
+		cc := clause.(*ast.CaseClause)
+		blk := blocks[i]
+		b.edge(head, blk)
+		b.cur = blk
+		for _, e := range cc.List {
+			b.add(e, KindCond)
+		}
+		if i+1 < len(list) {
+			b.loops[len(b.loops)-1].fallthroughT = blocks[i+1]
+		} else {
+			b.loops[len(b.loops)-1].fallthroughT = nil
+		}
+		b.stmtList(bodyOf(cc))
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.edge(head, join)
+	b.popLoop(frame)
+	b.cur = join
+}
+
+func (b *builder) pushLoop(breakTo, continueTo *Block) int {
+	f := loopFrame{label: b.pendingLabel, breakTo: breakTo, continueTo: continueTo, isLoop: true}
+	b.pendingLabel = ""
+	b.loops = append(b.loops, f)
+	if f.label != "" {
+		fp := &b.loops[len(b.loops)-1]
+		b.labels[f.label] = fp
+	}
+	return len(b.loops) - 1
+}
+
+func (b *builder) pushSwitch(breakTo *Block) int {
+	f := loopFrame{label: b.pendingLabel, breakTo: breakTo}
+	b.pendingLabel = ""
+	b.loops = append(b.loops, f)
+	if f.label != "" {
+		fp := &b.loops[len(b.loops)-1]
+		b.labels[f.label] = fp
+	}
+	return len(b.loops) - 1
+}
+
+func (b *builder) popLoop(idx int) {
+	f := b.loops[idx]
+	if f.label != "" {
+		delete(b.labels, f.label)
+	}
+	b.loops = b.loops[:idx]
+}
+
+// findFrame resolves a break/continue target: the labeled frame, or
+// the innermost loop (for continue) or loop/switch (for break).
+func (b *builder) findFrame(label *ast.Ident, needLoop bool) *loopFrame {
+	if label != nil {
+		if f, ok := b.labels[label.Name]; ok {
+			return f
+		}
+		return nil
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if needLoop && !b.loops[i].isLoop {
+			continue
+		}
+		return &b.loops[i]
+	}
+	return nil
+}

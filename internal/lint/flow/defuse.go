@@ -1,0 +1,244 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DefUse holds the reaching-definition chains of one function: for
+// every identifier use, the set of definition sites (assignments,
+// declarations, range bindings, parameters) whose value can reach it.
+// wiretaint uses the chains to report *where* a tainted value was
+// born, not just where it hits a sink.
+type DefUse struct {
+	reaching map[*ast.Ident][]ast.Node
+	defSites map[types.Object][]ast.Node
+}
+
+// DefsOf returns the definition sites whose value can reach the given
+// use, in source order. It returns nil for identifiers that are not
+// uses of a function-local variable.
+func (d *DefUse) DefsOf(use *ast.Ident) []ast.Node {
+	return d.reaching[use]
+}
+
+// defEntry is one (object, site) definition discovered in the body.
+type defEntry struct {
+	obj  types.Object
+	site ast.Node
+}
+
+// duFact maps each variable to the set of definition ids that may
+// hold its current value.
+type duFact map[types.Object]map[int]bool
+
+// duState carries one reaching-definitions computation.
+type duState struct {
+	info    *types.Info
+	entries []defEntry
+	defID   map[defEntry]int
+}
+
+// BuildDefUse computes reaching definitions over g with a forward
+// worklist (meet = union, assignments kill prior definitions of the
+// same object). ftype supplies parameters and named results, which
+// act as definitions live at entry.
+func BuildDefUse(g *Graph, info *types.Info, ftype *ast.FuncType) *DefUse {
+	d := &DefUse{
+		reaching: make(map[*ast.Ident][]ast.Node),
+		defSites: make(map[types.Object][]ast.Node),
+	}
+	s := &duState{info: info, defID: make(map[defEntry]int)}
+	addDef := func(obj types.Object, site ast.Node) int {
+		if obj == nil {
+			return -1
+		}
+		e := defEntry{obj, site}
+		if id, ok := s.defID[e]; ok {
+			return id
+		}
+		id := len(s.entries)
+		s.entries = append(s.entries, e)
+		s.defID[e] = id
+		d.defSites[obj] = append(d.defSites[obj], site)
+		return id
+	}
+
+	entryFact := make(duFact)
+	if ftype != nil {
+		for _, list := range []*ast.FieldList{ftype.Params, ftype.Results} {
+			if list == nil {
+				continue
+			}
+			for _, field := range list.List {
+				for _, name := range field.Names {
+					obj := info.Defs[name]
+					if id := addDef(obj, name); id >= 0 {
+						entryFact[obj] = map[int]bool{id: true}
+					}
+				}
+			}
+		}
+	}
+
+	// Pre-register every in-body definition so ids are stable.
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for _, e := range nodeDefs(info, n.N) {
+				addDef(e.obj, e.site)
+			}
+		}
+	}
+
+	// Fixpoint on block entry facts.
+	in := make([]duFact, len(g.Blocks))
+	for i := range in {
+		in[i] = make(duFact)
+	}
+	mergeFacts(in[g.Entry.Index], entryFact)
+	work := []*Block{g.Entry}
+	inWork := make([]bool, len(g.Blocks))
+	inWork[g.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.Index] = false
+		out := s.transfer(blk, in[blk.Index], nil)
+		for _, succ := range blk.Succs {
+			if mergeFacts(in[succ.Index], out) && !inWork[succ.Index] {
+				inWork[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Final pass: record per-use reaching sets.
+	for _, blk := range g.Blocks {
+		s.transfer(blk, in[blk.Index], func(use *ast.Ident, fact duFact) {
+			obj := info.Uses[use]
+			if obj == nil {
+				return
+			}
+			ids := fact[obj]
+			if len(ids) == 0 {
+				return
+			}
+			sites := make([]ast.Node, 0, len(ids))
+			for id := range ids {
+				sites = append(sites, s.entries[id].site)
+			}
+			sort.Slice(sites, func(i, j int) bool { return sites[i].Pos() < sites[j].Pos() })
+			d.reaching[use] = sites
+		})
+	}
+	return d
+}
+
+// transfer pushes the entry fact through the block's nodes, returning
+// the exit fact. When onUse is non-nil it is called for every
+// local-variable use with the fact in force at that point.
+func (s *duState) transfer(blk *Block, entry duFact, onUse func(*ast.Ident, duFact)) duFact {
+	fact := make(duFact, len(entry))
+	mergeFacts(fact, entry)
+	for _, n := range blk.Nodes {
+		if onUse != nil {
+			shallowEach(n.N, func(sub ast.Node) {
+				if id, ok := sub.(*ast.Ident); ok {
+					if _, isVar := s.info.Uses[id].(*types.Var); isVar {
+						onUse(id, fact)
+					}
+				}
+			})
+		}
+		for _, e := range nodeDefs(s.info, n.N) {
+			if id, ok := s.defID[e]; ok {
+				fact[e.obj] = map[int]bool{id: true}
+			}
+		}
+	}
+	return fact
+}
+
+// mergeFacts unions src into dst, reporting whether dst changed.
+func mergeFacts(dst, src duFact) bool {
+	changed := false
+	for obj, ids := range src {
+		d := dst[obj]
+		if d == nil {
+			d = make(map[int]bool, len(ids))
+			dst[obj] = d
+		}
+		for id := range ids {
+			if !d[id] {
+				d[id] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// nodeDefs lists the definitions a single CFG node performs.
+func nodeDefs(info *types.Info, n ast.Node) []defEntry {
+	var out []defEntry
+	add := func(id *ast.Ident, site ast.Node) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		out = append(out, defEntry{obj, site})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				add(id, n)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			add(id, n)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						add(name, n)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			add(id, n)
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			add(id, n)
+		}
+	}
+	return out
+}
+
+// shallowEach visits every node under n without descending into
+// function literals (which are separate analysis units).
+func shallowEach(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		if sub == nil {
+			return true
+		}
+		visit(sub)
+		return true
+	})
+}

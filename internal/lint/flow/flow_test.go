@@ -1,0 +1,372 @@
+package flow_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"smartsock/internal/lint"
+	"smartsock/internal/lint/flow"
+)
+
+// flowSuite is the registered flow-sensitive analyzer set, run
+// together over every fixture so cross-analyzer noise fails the test
+// too.
+var flowSuite = []*lint.Analyzer{flow.WireTaint, flow.FrameCase, flow.LockOrder, flow.LeakyGo}
+
+// Fixtures type-check against tiny in-memory stand-ins for their
+// imports, mirroring the lint package's own test harness: hermetic,
+// fast, and method resolution behaves exactly like the real packages
+// because only the declared import paths matter to the analyzers.
+var stubSources = map[string]string{
+	"sync": `package sync
+type Mutex struct{ state int32 }
+func (m *Mutex) Lock() {}
+func (m *Mutex) Unlock() {}
+type RWMutex struct{ w Mutex }
+func (m *RWMutex) Lock() {}
+func (m *RWMutex) Unlock() {}
+func (m *RWMutex) RLock() {}
+func (m *RWMutex) RUnlock() {}
+type WaitGroup struct{ state uint64 }
+func (wg *WaitGroup) Add(delta int) {}
+func (wg *WaitGroup) Done() {}
+func (wg *WaitGroup) Wait() {}
+`,
+	"context": `package context
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}
+func Background() Context { return nil }
+`,
+	"io": `package io
+type Reader interface{ Read(p []byte) (n int, err error) }
+func ReadFull(r Reader, buf []byte) (int, error) { return 0, nil }
+func ReadAtLeast(r Reader, buf []byte, min int) (int, error) { return 0, nil }
+`,
+	"net": `package net
+type Conn interface {
+	Read(b []byte) (n int, err error)
+	Write(b []byte) (n int, err error)
+	Close() error
+}
+func Dial(network, address string) (Conn, error) { return nil, nil }
+`,
+	"encoding/binary": `package binary
+func Uvarint(buf []byte) (uint64, int) { return 0, 0 }
+func PutUvarint(buf []byte, x uint64) int { return 0 }
+`,
+	"smartsock/internal/status": `package status
+import "io"
+type Frame struct {
+	Type uint8
+	Data []byte
+}
+func ReadFrame(r io.Reader) (Frame, error) { return Frame{}, nil }
+func ReadFrameInto(r io.Reader, f *Frame) error { return nil }
+`,
+}
+
+type stubImporter struct {
+	fset  *token.FileSet
+	cache map[string]*types.Package
+}
+
+func newStubImporter() *stubImporter {
+	return &stubImporter{fset: token.NewFileSet(), cache: map[string]*types.Package{}}
+}
+
+func (s *stubImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := s.cache[path]; ok {
+		return pkg, nil
+	}
+	src, ok := stubSources[path]
+	if !ok {
+		return nil, fmt.Errorf("no stub for import %q", path)
+	}
+	file, err := parser.ParseFile(s.fset, path+"/stub.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: s}
+	pkg, err := conf.Check(path, s.fset, []*ast.File{file}, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[path] = pkg
+	return pkg, nil
+}
+
+// marker is one want:/nowant: annotation in a fixture source file.
+type marker struct {
+	file     string
+	line     int
+	analyzer string
+	want     bool
+}
+
+var markerRE = regexp.MustCompile(`//\s*(nowant|want):(\w+)`)
+
+// loadFixture parses and type-checks every file of one testdata
+// mini-package, collecting its finding markers.
+func loadFixture(t *testing.T, dir, pkgPath string) (*lint.Package, []marker) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var marks []marker
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(root, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, file)
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range markerRE.FindAllStringSubmatch(line, -1) {
+				known := false
+				for _, a := range flowSuite {
+					if a.Name == m[2] {
+						known = true
+					}
+				}
+				if !known {
+					t.Fatalf("%s:%d: marker names unknown analyzer %q", e.Name(), i+1, m[2])
+				}
+				marks = append(marks, marker{
+					file:     filepath.Join(root, e.Name()),
+					line:     i + 1,
+					analyzer: m[2],
+					want:     m[1] == "want",
+				})
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: newStubImporter()}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", dir, err)
+	}
+	return &lint.Package{
+		Path:  pkgPath,
+		Name:  files[0].Name.Name,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, marks
+}
+
+type findingKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// TestFlowFixtures runs the whole flow suite over each fixture
+// package and requires the findings to match the want: markers
+// exactly — a finding without a marker fails just like a marker
+// without a finding.
+func TestFlowFixtures(t *testing.T) {
+	cases := []struct{ dir, pkgPath string }{
+		{"wtfix", "smartsock/internal/wtfix"},
+		{"fcfix", "smartsock/internal/fcfix"},
+		{"lofix", "smartsock/internal/lofix"},
+		{"lgfix", "smartsock/internal/lgfix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, marks := loadFixture(t, tc.dir, tc.pkgPath)
+			findings := lint.Run([]*lint.Package{pkg}, flowSuite)
+
+			got := make(map[findingKey]int)
+			for _, f := range findings {
+				got[findingKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]++
+			}
+			want := make(map[findingKey]int)
+			for _, m := range marks {
+				k := findingKey{m.file, m.line, m.analyzer}
+				if m.want {
+					want[k]++
+				} else if got[k] > 0 {
+					t.Errorf("line %d: unexpected %s finding on a nowant line", m.line, m.analyzer)
+				}
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("line %d: %d %s finding(s), want %d", k.line, got[k], k.analyzer, n)
+				}
+			}
+			for k, n := range got {
+				if want[k] == 0 {
+					t.Errorf("line %d: %d unmarked %s finding(s)", k.line, n, k.analyzer)
+				}
+			}
+			if t.Failed() {
+				for _, f := range findings {
+					t.Logf("finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// parseFunc parses src and returns the named function's pieces plus
+// full type info, for the CFG and def-use unit tests.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *ast.File, *ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "unit.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: newStubImporter()}
+	if _, err := conf.Check("example.com/p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, file, fd, info
+		}
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil, nil, nil, nil
+}
+
+func TestBuildCFGShape(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			total += i
+			continue
+		}
+		total -= i
+	}
+	switch total {
+	case 0:
+		return -1
+	}
+	return total
+}
+`
+	_, _, fd, _ := parseFunc(t, src, "f")
+	g := flow.BuildCFG(fd.Body)
+
+	reachable := map[*flow.Block]bool{g.Entry: true}
+	stack := []*flow.Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if !reachable[g.Exit] {
+		t.Fatal("exit not reachable from entry")
+	}
+	for b := range reachable {
+		if b != g.Exit && len(b.Succs) == 0 {
+			t.Errorf("reachable block %d has no successors and is not the exit", b.Index)
+		}
+	}
+
+	// The for loop must produce a cycle.
+	hasCycle := false
+	state := make(map[*flow.Block]int) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(b *flow.Block)
+	dfs = func(b *flow.Block) {
+		state[b] = 1
+		for _, s := range b.Succs {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				hasCycle = true
+			}
+		}
+		state[b] = 2
+	}
+	dfs(g.Entry)
+	if !hasCycle {
+		t.Error("loop produced no back edge in the CFG")
+	}
+}
+
+func TestDefUseChains(t *testing.T) {
+	src := `package p
+func f(a int) int {
+	x := 1
+	if a > 0 {
+		x = 2
+	}
+	return x
+}
+`
+	_, _, fd, info := parseFunc(t, src, "f")
+	g := flow.BuildCFG(fd.Body)
+	du := flow.BuildDefUse(g, info, fd.Type)
+
+	// The returned x can hold either definition.
+	var retX, condA *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if id, ok := n.Results[0].(*ast.Ident); ok && id.Name == "x" {
+				retX = id
+			}
+		case *ast.BinaryExpr:
+			if id, ok := n.X.(*ast.Ident); ok && id.Name == "a" {
+				condA = id
+			}
+		}
+		return true
+	})
+	if retX == nil || condA == nil {
+		t.Fatal("fixture idents not found")
+	}
+	if defs := du.DefsOf(retX); len(defs) != 2 {
+		t.Errorf("DefsOf(return x) = %d definitions, want 2 (x := 1 and x = 2)", len(defs))
+	}
+	if defs := du.DefsOf(condA); len(defs) != 1 {
+		t.Errorf("DefsOf(a in condition) = %d definitions, want 1 (the parameter)", len(defs))
+	}
+}

@@ -1,0 +1,232 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"smartsock/internal/lint"
+)
+
+// FrameCase keeps frame dispatch exhaustive as the wire protocol
+// grows. A "frame type" is a named integer type with at least two
+// package-level constants whose names start with "Type" (the
+// status.RecordType shape). Two invariants:
+//
+//   - Every value switch over a frame type either covers all of the
+//     type's constants or carries a non-empty default arm — an empty
+//     default (or a missing one with constants left over) silently
+//     drops unknown frames, the bug class the transport's
+//     UnknownFrames counters exist to surface.
+//
+//   - The package declaring a frame type must also declare a
+//     package-level codec registry: a map keyed by the frame type
+//     with one non-empty entry per constant. The registry's value
+//     struct names the Append*/Parse* pair for each frame, so adding
+//     a constant without wiring encode+decode fails the lint run
+//     instead of failing in production.
+var FrameCase = &lint.Analyzer{
+	Name: "framecase",
+	Doc:  "frame-type switches must be exhaustive or count unknowns; every frame constant needs a codec registry entry",
+	Run:  runFrameCase,
+}
+
+// frameTypeInfo describes one detected frame enum.
+type frameTypeInfo struct {
+	typ    types.Type
+	consts []*types.Const
+}
+
+// frameTypeOf reports whether t is a frame type, returning its
+// constants sorted by value.
+func frameTypeOf(t types.Type) (*frameTypeInfo, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, false
+	}
+	scope := obj.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Type") {
+			continue
+		}
+		if types.Identical(c.Type(), t) {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) < 2 {
+		return nil, false
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Name() < consts[j].Name() })
+	return &frameTypeInfo{typ: t, consts: consts}, true
+}
+
+func runFrameCase(pass *lint.Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pkg.Info.TypeOf(sw.Tag)
+			if tagType == nil {
+				return true
+			}
+			ft, ok := frameTypeOf(tagType)
+			if !ok {
+				return true
+			}
+			checkDispatch(pass, sw, ft)
+			return true
+		})
+	}
+	checkRegistries(pass)
+}
+
+// checkDispatch verifies one frame-type switch.
+func checkDispatch(pass *lint.Pass, sw *ast.SwitchStmt, ft *frameTypeInfo) {
+	pkg := pass.Pkg
+	covered := make(map[*types.Const]bool)
+	hasDefault := false
+	defaultEmpty := false
+	for _, clause := range sw.Body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+			defaultEmpty = len(cc.Body) == 0
+			continue
+		}
+		for _, e := range cc.List {
+			if c, ok := constOf(pkg.Info, e); ok {
+				covered[c] = true
+			}
+		}
+	}
+	typeName := types.TypeString(ft.typ, types.RelativeTo(pkg.Types))
+	if hasDefault {
+		if defaultEmpty {
+			pass.Reportf(sw.Pos(), "switch on %s has an empty default: unknown frames vanish silently — count them or return an error", typeName)
+		}
+		return
+	}
+	var missing []string
+	for _, c := range ft.consts {
+		if !covered[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch on %s is not exhaustive: missing %s — add cases or a default arm that counts unknown frames",
+			typeName, strings.Join(missing, ", "))
+	}
+}
+
+// checkRegistries verifies that every frame type declared in this
+// package has a complete codec registry map.
+func checkRegistries(pass *lint.Pass) {
+	pkg := pass.Pkg
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		ft, ok := frameTypeOf(tn.Type())
+		if !ok {
+			continue
+		}
+		reg, keys := findRegistry(pkg, ft)
+		if reg == nil {
+			pass.Reportf(tn.Pos(), "frame type %s has no codec registry: declare a package-level map[%s]... with one entry per Type constant pairing its Append*/Parse* functions",
+				tn.Name(), tn.Name())
+			continue
+		}
+		var missing []string
+		for _, c := range ft.consts {
+			if !keys[c] {
+				missing = append(missing, c.Name())
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(reg.Pos(), "codec registry misses frame constants: %s — every Type constant needs its encode/decode pair registered",
+				strings.Join(missing, ", "))
+		}
+	}
+}
+
+// findRegistry locates a package-level composite-literal map keyed by
+// the frame type, returning the literal and the constants its
+// non-empty entries cover.
+func findRegistry(pkg *lint.Package, ft *frameTypeInfo) (*ast.CompositeLit, map[*types.Const]bool) {
+	var found *ast.CompositeLit
+	keys := make(map[*types.Const]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					lit, ok := ast.Unparen(v).(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					t := pkg.Info.TypeOf(lit)
+					if t == nil {
+						continue
+					}
+					m, ok := t.Underlying().(*types.Map)
+					if !ok || !types.Identical(m.Key(), ft.typ) {
+						continue
+					}
+					found = lit
+					for _, el := range lit.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						c, ok := constOf(pkg.Info, kv.Key)
+						if !ok {
+							continue
+						}
+						if entryLit, ok := ast.Unparen(kv.Value).(*ast.CompositeLit); ok && len(entryLit.Elts) == 0 {
+							// An empty entry registers nothing.
+							continue
+						}
+						keys[c] = true
+					}
+				}
+			}
+		}
+	}
+	return found, keys
+}
+
+// constOf resolves an expression to the constant object it names.
+func constOf(info *types.Info, e ast.Expr) (*types.Const, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, ok := info.Uses[e].(*types.Const)
+		return c, ok
+	case *ast.SelectorExpr:
+		c, ok := info.Uses[e.Sel].(*types.Const)
+		return c, ok
+	}
+	return nil, false
+}

@@ -1,0 +1,143 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smartsock/internal/lint"
+)
+
+// LeakyGo requires every goroutine spawned in library code to have a
+// shutdown path. A `go` statement is accepted when:
+//
+//   - an argument of the spawned call is a context.Context (the
+//     `go x.Run(ctx)` shape);
+//   - the spawned function literal observes a shutdown signal: it
+//     references a context value, receives from a channel, ranges
+//     over a channel, or calls WaitGroup.Done;
+//   - the spawned named function's body does any of the above (a
+//     one-level call summary, so `go w.serve(ctx2)` and helpers that
+//     take their context from a field both pass);
+//   - the spawn sits in a loop whose body acquires a semaphore (a
+//     channel send/receive in the loop bounds outstanding work).
+//
+// Anything else is a goroutine nothing can stop: it outlives
+// Close/cancel and turns into the slow leak the chaos tests exist to
+// catch. Goroutines whose lifetime is genuinely owned elsewhere
+// (closing the connection they read stops them) get a documented
+// //lint:ignore.
+var LeakyGo = &lint.Analyzer{
+	Name:      "leakygo",
+	Doc:       "library goroutines must select on ctx/done, be WaitGroup-tracked, or be semaphore-bounded in loops",
+	RunModule: runLeakyGo,
+}
+
+func runLeakyGo(pass *lint.ModulePass) {
+	sums := BuildSummaries(pass.Pkgs)
+	for _, u := range sums.AllUnits() {
+		if u.Test || u.Pkg.Name == "main" {
+			continue
+		}
+		checkUnitGoroutines(pass, sums, u)
+	}
+}
+
+// checkUnitGoroutines walks one unit's own statements (not nested
+// literals — they are units of their own) looking for go statements.
+func checkUnitGoroutines(pass *lint.ModulePass, sums *Summaries, u *Unit) {
+	info := u.Pkg.Info
+	var walk func(n ast.Node, loops []*ast.BlockStmt)
+	walk = func(n ast.Node, loops []*ast.BlockStmt) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// Separate unit.
+			return
+		case *ast.ForStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, appendLoop(loops, n.Body)) })
+			return
+		case *ast.RangeStmt:
+			walkChildren(n, func(c ast.Node) { walk(c, appendLoop(loops, n.Body)) })
+			return
+		case *ast.GoStmt:
+			if !goAccepted(info, sums, n, loops) {
+				pass.Reportf(u.Pkg, n.Pos(), "goroutine in %s has no shutdown path: pass a context, observe a done channel or WaitGroup in its body, or bound loop spawns with a semaphore",
+					u.Name)
+			}
+			// Still walk the call's arguments (they may nest more).
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, loops) })
+	}
+	walk(u.Body, nil)
+}
+
+func appendLoop(loops []*ast.BlockStmt, body *ast.BlockStmt) []*ast.BlockStmt {
+	out := make([]*ast.BlockStmt, len(loops), len(loops)+1)
+	copy(out, loops)
+	return append(out, body)
+}
+
+// walkChildren visits n's direct children once each.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c == nil {
+			return false
+		}
+		visit(c)
+		return false
+	})
+}
+
+// goAccepted applies the acceptance rules to one go statement.
+func goAccepted(info *types.Info, sums *Summaries, g *ast.GoStmt, loops []*ast.BlockStmt) bool {
+	call := g.Call
+	for _, arg := range call.Args {
+		if t := info.TypeOf(arg); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if bodyCtxAware(info, lit.Type, lit.Body) {
+			return true
+		}
+	}
+	if fn, ok := lint.CalleeFunc(info, call); ok && sums.CtxAware(fn) {
+		return true
+	}
+	for _, loop := range loops {
+		if loopHasSemaphore(info, loop) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopHasSemaphore reports whether the loop body acquires a
+// channel-based semaphore: a send into a channel, or a bare receive,
+// at statement level — either shape bounds how many iterations can be
+// in flight.
+func loopHasSemaphore(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	lint.InspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.ExprStmt:
+			if u, ok := n.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,293 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smartsock/internal/lint"
+)
+
+// Unit is one analysis unit: a declared function/method or a function
+// literal. Literals are units of their own — their bodies are never
+// folded into the enclosing function's CFG.
+type Unit struct {
+	Pkg  *lint.Package
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Obj  *types.Func   // nil for literals
+	Type *ast.FuncType
+	Body *ast.BlockStmt
+	Name string
+	Test bool // declared in a _test.go file
+}
+
+// Units returns every function unit of the package, in source order.
+func Units(pkg *lint.Package) []*Unit {
+	var out []*Unit
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				u := &Unit{
+					Pkg:  pkg,
+					Decl: fn,
+					Type: fn.Type,
+					Body: fn.Body,
+					Name: fn.Name.Name,
+					Test: lint.IsTestFile(pkg.Fset, fn.Pos()),
+				}
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					u.Obj = obj
+				}
+				if fn.Recv != nil && len(fn.Recv.List) > 0 {
+					u.Name = types.ExprString(fn.Recv.List[0].Type) + "." + u.Name
+				}
+				out = append(out, u)
+			case *ast.FuncLit:
+				out = append(out, &Unit{
+					Pkg:  pkg,
+					Lit:  fn,
+					Type: fn.Type,
+					Body: fn.Body,
+					Name: fmt.Sprintf("func literal at line %d", pkg.Fset.Position(fn.Pos()).Line),
+					Test: lint.IsTestFile(pkg.Fset, fn.Pos()),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Summaries is the one-level call-summary layer: per declared
+// function, the syntactic facts callers consult without re-analyzing
+// the callee's body. One level only — summaries are computed from
+// bodies directly, never from other summaries, so the layer cannot
+// diverge and stays cheap.
+type Summaries struct {
+	units        map[*types.Func]*Unit
+	allUnits     []*Unit
+	paramChecked map[*types.Func][]bool
+	ctxAware     map[*types.Func]bool
+}
+
+// BuildSummaries analyzes every package once and returns the summary
+// layer shared by the flow analyzers.
+func BuildSummaries(pkgs []*lint.Package) *Summaries {
+	s := &Summaries{
+		units:        make(map[*types.Func]*Unit),
+		paramChecked: make(map[*types.Func][]bool),
+		ctxAware:     make(map[*types.Func]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, u := range Units(pkg) {
+			s.allUnits = append(s.allUnits, u)
+			if u.Obj == nil {
+				continue
+			}
+			s.units[u.Obj] = u
+			s.paramChecked[u.Obj] = paramCheckedOf(u)
+			s.ctxAware[u.Obj] = bodyCtxAware(u.Pkg.Info, u.Type, u.Body)
+		}
+	}
+	return s
+}
+
+// UnitOf returns the unit declaring fn, when fn belongs to the
+// analyzed module.
+func (s *Summaries) UnitOf(fn *types.Func) (*Unit, bool) {
+	u, ok := s.units[fn]
+	return u, ok
+}
+
+// AllUnits returns every unit of every analyzed package.
+func (s *Summaries) AllUnits() []*Unit { return s.allUnits }
+
+// ParamChecked reports whether fn's i-th parameter is bounds-checked
+// (used as a comparison operand or switch tag) somewhere in fn's
+// body. A call passing a tainted value to such a parameter counts as
+// sanitizing it — the countCap pattern.
+func (s *Summaries) ParamChecked(fn *types.Func, i int) bool {
+	checked, ok := s.paramChecked[fn]
+	return ok && i < len(checked) && checked[i]
+}
+
+// CtxAware reports whether fn's body observes a shutdown signal: it
+// references a context.Context value, receives from a done-style
+// channel, or participates in a WaitGroup.
+func (s *Summaries) CtxAware(fn *types.Func) bool { return s.ctxAware[fn] }
+
+// paramCheckedOf computes which parameters appear as comparison
+// operands or switch tags anywhere in the body.
+func paramCheckedOf(u *Unit) []bool {
+	sig, ok := u.Obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	index := make(map[types.Object]int, params.Len())
+	for i := 0; i < params.Len(); i++ {
+		index[params.At(i)] = i
+	}
+	checked := make([]bool, params.Len())
+	mark := func(e ast.Expr) {
+		if id, ok := rootIdent(u.Pkg.Info, e); ok {
+			if i, ok := index[u.Pkg.Info.Uses[id]]; ok {
+				checked[i] = true
+			}
+		}
+	}
+	ast.Inspect(u.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if isComparison(n.Op) {
+				mark(n.X)
+				mark(n.Y)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				mark(n.Tag)
+			}
+		}
+		return true
+	})
+	return checked
+}
+
+// isComparison reports whether op is a relational operator.
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// rootIdent unwraps parens, conversions, unary ops, selector paths
+// and index expressions down to the base identifier: int(n) -> n,
+// req.ServerNum -> req, sizes[i] -> sizes, len(x) has no root (calls
+// other than conversions stop the walk).
+func rootIdent(info *types.Info, e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Only look through type conversions, not real calls.
+			if len(x.Args) == 1 && isConversion(info, x) {
+				e = x.Args[0]
+				continue
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isConversion reports whether call is a type conversion like
+// int(n) or uint32(x).
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// bodyCtxAware reports whether a function body observes a shutdown
+// signal (the leakygo acceptance conditions that live inside the
+// spawned body).
+func bodyCtxAware(info *types.Info, ftype *ast.FuncType, body *ast.BlockStmt) bool {
+	if lint.HasContextParam(info, ftype) {
+		return true
+	}
+	aware := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if aware {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isContextValue(info, n) {
+				aware = true
+			}
+		case *ast.UnaryExpr:
+			// <-done style receive: any channel receive counts — the
+			// goroutine is demonstrably waiting on a signal.
+			if n.Op == token.ARROW {
+				aware = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel ends when the channel closes.
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					aware = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupCall(info, n, "Done") {
+				aware = true
+			}
+		}
+		return !aware
+	})
+	return aware
+}
+
+// isContextValue reports whether the identifier denotes a value of
+// type context.Context.
+func isContextValue(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return isContextType(obj.Type())
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isWaitGroupCall reports whether call is method (e.g. "Done") on a
+// sync.WaitGroup.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

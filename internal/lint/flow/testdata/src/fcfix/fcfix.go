@@ -1,0 +1,100 @@
+// Package fcfix exercises the framecase analyzer: switches over frame
+// types must be exhaustive or carry a non-empty default, and every
+// frame type declared here needs a complete codec registry.
+package fcfix
+
+// MsgType is a frame type: a named integer with Type-prefixed
+// package-level constants.
+type MsgType uint8
+
+const (
+	TypeAlpha MsgType = 1
+	TypeBeta  MsgType = 2
+	TypeGamma MsgType = 3
+)
+
+type codec struct{ name string }
+
+// codecs covers every MsgType constant: no registry finding.
+var codecs = map[MsgType]codec{
+	TypeAlpha: {name: "alpha"},
+	TypeBeta:  {name: "beta"},
+	TypeGamma: {name: "gamma"},
+}
+
+// Exhaustive without a default: fine.
+func dispatchOK(t MsgType) int {
+	switch t {
+	case TypeAlpha:
+		return 1
+	case TypeBeta:
+		return 2
+	case TypeGamma:
+		return 3
+	}
+	return 0
+}
+
+// A non-empty default arm makes any coverage fine.
+func dispatchDefault(t MsgType, unknown *int) int {
+	switch t {
+	case TypeAlpha:
+		return 1
+	default:
+		*unknown++
+		return 0
+	}
+}
+
+// Missing constants and no default: unknown frames vanish.
+func dispatchMissing(t MsgType) int {
+	switch t { // want:framecase
+	case TypeAlpha:
+		return 1
+	}
+	return 0
+}
+
+// An empty default is the silent-drop shape the analyzer exists for.
+func dispatchEmptyDefault(t MsgType) int {
+	switch t { // want:framecase
+	case TypeAlpha:
+		return 1
+	default:
+	}
+	return 0
+}
+
+// PartType has a registry, but it misses TypePartB.
+type PartType uint8
+
+const (
+	TypePartA PartType = 1
+	TypePartB PartType = 2
+)
+
+var partCodecs = map[PartType]codec{ // want:framecase
+	TypePartA: {name: "a"},
+}
+
+// BareType has no codec registry at all.
+type BareType uint16 // want:framecase
+
+const (
+	TypeBareOne BareType = 1
+	TypeBareTwo BareType = 2
+)
+
+// EvtType's registry names both constants, but an empty entry
+// registers nothing: TypeEvtPong is still missing.
+type EvtType uint8
+
+const (
+	TypeEvtPing EvtType = 1
+	TypeEvtPong EvtType = 2
+)
+
+var evtCodecs = map[EvtType]codec{ // want:framecase
+	TypeEvtPing: {name: "ping"},
+	TypeEvtPong: {},
+}

@@ -1,0 +1,80 @@
+// Package lgfix exercises the leakygo analyzer: library goroutines
+// need a shutdown path — a context argument, a ctx/done-aware body, a
+// context-aware named callee, or a semaphore-bounded spawn loop.
+package lgfix
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+type srv struct {
+	conn net.Conn
+	done chan struct{}
+}
+
+// A bare spawn nothing can stop.
+func (s *srv) start() {
+	go s.pump() // want:leakygo
+}
+
+func (s *srv) pump() {
+	buf := make([]byte, 64)
+	for {
+		if _, err := s.conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// A context argument is the canonical shutdown path.
+func (s *srv) startCtx(ctx context.Context) {
+	go s.run(ctx) // nowant:leakygo
+}
+
+func (s *srv) run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// A literal that waits on a done channel.
+func (s *srv) startDone() {
+	go func() { // nowant:leakygo
+		<-s.done
+	}()
+}
+
+// A WaitGroup-tracked literal.
+func (s *srv) startWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // nowant:leakygo
+		defer wg.Done()
+	}()
+}
+
+// A named callee whose body observes a context field passes through
+// the one-level call summary.
+type worker struct{ ctx context.Context }
+
+func (w *worker) loop() {
+	<-w.ctx.Done()
+}
+
+func (w *worker) kick() {
+	go w.loop() // nowant:leakygo
+}
+
+// Spawning in a loop with a semaphore send bounds outstanding work.
+func fanout(jobs []func(), sem chan struct{}) {
+	for _, job := range jobs {
+		sem <- struct{}{}
+		go job() // nowant:leakygo
+	}
+}
+
+// The same loop without the semaphore is an unbounded leak.
+func spawnAll(jobs []func()) {
+	for _, job := range jobs {
+		go job() // want:leakygo
+	}
+}

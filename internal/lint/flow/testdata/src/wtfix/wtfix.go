@@ -1,0 +1,150 @@
+// Package wtfix exercises the wiretaint analyzer: values derived from
+// the network must pass a bounds check before they become a make
+// size, a slice index, a slice bound, or a loop bound. Lines with a
+// trailing want marker expect a finding; nowant lines document the
+// sanitized counterpart.
+package wtfix
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+
+	"smartsock/internal/status"
+)
+
+const maxFrame = 1 << 16
+
+// An unchecked make size from a conn read.
+func header(c net.Conn) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := c.Read(hdr); err != nil {
+		return nil, err
+	}
+	n, _ := binary.Uvarint(hdr)
+	return make([]byte, n), nil // want:wiretaint
+}
+
+// The same read, bounds-checked before allocation: clean.
+func headerChecked(c net.Conn) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		return nil, err
+	}
+	n, _ := binary.Uvarint(hdr)
+	if n > maxFrame {
+		return nil, nil
+	}
+	return make([]byte, n), nil // nowant:wiretaint
+}
+
+// A tainted slice index.
+func pick(c net.Conn, table []string) string {
+	b := make([]byte, 1)
+	if _, err := c.Read(b); err != nil {
+		return ""
+	}
+	i := int(b[0])
+	return table[i] // want:wiretaint
+}
+
+// The guarded version is clean; both sides of || sanitize.
+func pickChecked(c net.Conn, table []string) string {
+	b := make([]byte, 1)
+	if _, err := c.Read(b); err != nil {
+		return ""
+	}
+	i := int(b[0])
+	if i < 0 || i >= len(table) {
+		return ""
+	}
+	return table[i] // nowant:wiretaint
+}
+
+// A tainted loop bound.
+func pump(c net.Conn) int {
+	b := make([]byte, 8)
+	if _, err := c.Read(b); err != nil {
+		return 0
+	}
+	n, _ := binary.Uvarint(b)
+	total := 0
+	for i := uint64(0); i < n; i++ { // want:wiretaint
+		total++
+	}
+	return total
+}
+
+// Ranging over wire data taints the element values, not the index.
+func scan(c net.Conn, table []int) int {
+	b := make([]byte, 16)
+	if _, err := c.Read(b); err != nil {
+		return 0
+	}
+	sum := 0
+	for _, v := range b {
+		sum += table[v] // want:wiretaint
+	}
+	return sum
+}
+
+// alloc's parameter reaches a make size unchecked, so the call
+// summary reports tainted arguments at the call site.
+func alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+func relay(c net.Conn) []byte {
+	b := make([]byte, 2)
+	if _, err := c.Read(b); err != nil {
+		return nil
+	}
+	return alloc(int(b[0])) // want:wiretaint
+}
+
+// fits bounds-checks its parameter, so calling it sanitizes the
+// argument — the countCap pattern.
+func fits(n, limit int) bool {
+	return n >= 0 && n <= limit
+}
+
+func relayChecked(c net.Conn) []byte {
+	b := make([]byte, 2)
+	if _, err := c.Read(b); err != nil {
+		return nil
+	}
+	n := int(b[0])
+	if !fits(n, 64) {
+		return nil
+	}
+	return make([]byte, n) // nowant:wiretaint
+}
+
+// Decode-style functions treat their byte parameters as wire input by
+// contract.
+func parseVec(b []byte) []uint64 {
+	n := int(b[0])
+	out := make([]uint64, n) // want:wiretaint
+	for i := range out {
+		out[i] = uint64(b[0])
+	}
+	return out
+}
+
+func parseVecChecked(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	n := int(b[0])
+	if n > len(b) {
+		return nil
+	}
+	return make([]uint64, n) // nowant:wiretaint
+}
+
+// A status frame is wire data wherever it came from.
+func frameSize(r io.Reader) []byte {
+	f, _ := status.ReadFrame(r)
+	n := int(f.Type)
+	return make([]byte, n) // want:wiretaint
+}

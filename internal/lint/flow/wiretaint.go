@@ -1,0 +1,862 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smartsock/internal/lint"
+)
+
+// WireTaint is the flow-sensitive generalization of the MaxServers
+// fix: a value that originates from the network — a net.Conn or
+// net.PacketConn read buffer, a status frame payload, or a parameter
+// of a Parse*/Unmarshal*/Decode*/read* function — must pass a bounds
+// check (comparison, switch, or a call to a function that checks the
+// parameter itself, like countCap) before it is used as a make size,
+// a slice index, a slice bound, or a for-loop bound.
+//
+// Taint propagates through assignments, arithmetic, conversions,
+// field selection and calls (a call with a tainted argument has
+// tainted results); len, cap, min and max launder taint, because
+// their results are bounded by values already in memory. A one-level
+// call summary layer extends the check across calls: passing a
+// tainted value to a module function whose parameter reaches a sink
+// unchecked is reported at the call site.
+var WireTaint = &lint.Analyzer{
+	Name:      "wiretaint",
+	Doc:       "network-derived sizes and indexes must be bounds-checked before allocation, indexing, or loop bounds",
+	RunModule: runWireTaint,
+}
+
+// origin records where a tainted value was born.
+type origin struct {
+	desc string
+	pos  token.Pos
+	// param is the parameter index the taint entered through, or -1
+	// for a real wire source. Parameter taint is never reported
+	// directly (outside decode functions); it only feeds the call
+	// summaries.
+	param int
+}
+
+// taintSummary is the wiretaint slice of the call-summary layer:
+// which parameters flow to a sink unchecked, and what kind of sink.
+type taintSummary struct {
+	paramSink map[int]string
+}
+
+// wtFact is the dataflow fact at one program point: tainted root
+// variables (union at joins) and bounds-checked expressions
+// (intersection at joins — checked on every path or not at all).
+type wtFact struct {
+	taint   map[types.Object]origin
+	checked map[string]bool
+}
+
+func newWTFact() *wtFact {
+	return &wtFact{taint: make(map[types.Object]origin), checked: make(map[string]bool)}
+}
+
+func (f *wtFact) clone() *wtFact {
+	c := &wtFact{
+		taint:   make(map[types.Object]origin, len(f.taint)),
+		checked: make(map[string]bool, len(f.checked)),
+	}
+	for k, v := range f.taint {
+		c.taint[k] = v
+	}
+	for k := range f.checked {
+		c.checked[k] = true
+	}
+	return c
+}
+
+// merge joins src into dst (taint: union, checked: intersection),
+// reporting change. first marks dst as never-joined, in which case it
+// becomes a copy of src.
+func (f *wtFact) merge(src *wtFact, first bool) bool {
+	changed := false
+	if first {
+		for k, v := range src.taint {
+			f.taint[k] = v
+			changed = true
+		}
+		for k := range src.checked {
+			f.checked[k] = true
+			changed = true
+		}
+		return true
+	}
+	for k, v := range src.taint {
+		if _, ok := f.taint[k]; !ok {
+			f.taint[k] = v
+			changed = true
+		}
+	}
+	for k := range f.checked {
+		if !src.checked[k] {
+			delete(f.checked, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func runWireTaint(pass *lint.ModulePass) {
+	sums := BuildSummaries(pass.Pkgs)
+
+	// Pass one: taint summaries. Every unit is analyzed with its own
+	// parameters as taint seeds; sinks reached by parameter taint
+	// become ParamSink entries callers consult. One level only: this
+	// pass sees no other summaries.
+	taintSums := make(map[*types.Func]*taintSummary)
+	for _, u := range sums.AllUnits() {
+		if u.Obj == nil || u.Test {
+			continue
+		}
+		w := &wtRun{unit: u, sums: sums, taintSums: nil, summary: &taintSummary{paramSink: make(map[int]string)}}
+		w.analyze()
+		taintSums[u.Obj] = w.summary
+	}
+
+	// Pass two: findings. Real sources are seeded, parameter sinks
+	// from pass one are reported at call sites passing tainted
+	// arguments.
+	for _, u := range sums.AllUnits() {
+		if u.Test || u.Pkg.Name == "main" {
+			continue
+		}
+		w := &wtRun{
+			unit: u, sums: sums, taintSums: taintSums,
+			summary: &taintSummary{paramSink: make(map[int]string)},
+			report: func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(u.Pkg, pos, format, args...)
+			},
+		}
+		w.analyze()
+	}
+}
+
+// wtRun is one wiretaint analysis of one unit. With report == nil it
+// runs in summary mode: parameters are the taint seeds and sinks
+// record ParamSink facts. With report set it runs in finding mode:
+// wire sources (and decode-function byte parameters) are the seeds.
+type wtRun struct {
+	unit      *Unit
+	sums      *Summaries
+	taintSums map[*types.Func]*taintSummary
+	summary   *taintSummary
+	report    func(pos token.Pos, format string, args ...any)
+	du        *DefUse
+}
+
+func (w *wtRun) info() *types.Info { return w.unit.Pkg.Info }
+
+func (w *wtRun) analyze() {
+	g := BuildCFG(w.unit.Body)
+	w.du = BuildDefUse(g, w.info(), w.unit.Type)
+
+	entry := newWTFact()
+	w.seed(entry)
+
+	in := make([]*wtFact, len(g.Blocks))
+	joined := make([]bool, len(g.Blocks))
+	for i := range in {
+		in[i] = newWTFact()
+	}
+	in[g.Entry.Index] = entry
+	joined[g.Entry.Index] = true
+
+	work := []*Block{g.Entry}
+	queued := make([]bool, len(g.Blocks))
+	queued[g.Entry.Index] = true
+	for steps := 0; len(work) > 0 && steps < 10000; steps++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			w.transfer(n, out, false)
+		}
+		for _, succ := range blk.Succs {
+			if in[succ.Index].merge(out, !joined[succ.Index]) {
+				joined[succ.Index] = true
+				if !queued[succ.Index] {
+					queued[succ.Index] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+
+	// Final pass with sink reporting enabled.
+	for _, blk := range g.Blocks {
+		fact := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			w.transfer(n, fact, true)
+		}
+	}
+}
+
+// seed installs the unit's taint entry state.
+func (w *wtRun) seed(fact *wtFact) {
+	if w.unit.Type == nil || w.unit.Type.Params == nil {
+		return
+	}
+	i := 0
+	for _, field := range w.unit.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for _, name := range field.Names {
+			obj := w.info().Defs[name]
+			if obj == nil {
+				continue
+			}
+			if w.report == nil {
+				// Summary mode: every parameter is a seed.
+				fact.taint[obj] = origin{desc: "parameter " + name.Name, pos: name.Pos(), param: i}
+			} else if w.decodeUnit() && isByteSlice(obj.Type()) {
+				// Finding mode: decode-function byte parameters carry
+				// wire input by contract.
+				fact.taint[obj] = origin{desc: "wire-input parameter " + name.Name, pos: name.Pos(), param: -1}
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+}
+
+// decodeUnit reports whether this unit is a decode-style function:
+// its name starts with Parse/Unmarshal/Decode/Read (any case),
+// meaning its byte-slice parameters are wire input by convention.
+func (w *wtRun) decodeUnit() bool {
+	if w.unit.Decl == nil {
+		return false
+	}
+	return decodeNamed(w.unit.Decl.Name.Name)
+}
+
+// decodeNamed reports whether name has a decode-style prefix followed
+// by a word boundary (readUvarint yes, ready no).
+func decodeNamed(name string) bool {
+	for _, p := range []string{"Parse", "parse", "Unmarshal", "unmarshal", "Decode", "decode", "Read", "read"} {
+		if !strings.HasPrefix(name, p) {
+			continue
+		}
+		rest := name[len(p):]
+		if rest == "" {
+			return true
+		}
+		c := rest[0]
+		if c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			return true
+		}
+	}
+	return false
+}
+
+// transfer pushes fact through one CFG node; when sinks is true it
+// also reports (or records, in summary mode) sink violations.
+func (w *wtRun) transfer(n Node, fact *wtFact, sinks bool) {
+	switch n.Kind {
+	case KindCond:
+		w.cond(n.N, fact, sinks)
+	case KindLoopCond:
+		if sinks {
+			w.loopCondSink(n.N, fact)
+		}
+		// The comparison still sanitizes for code after the loop: once
+		// `i < n` has been evaluated, later uses of n are no more
+		// dangerous than the loop itself (which got its own report).
+		w.cond(n.N, fact, false)
+	case KindRange:
+		rs := n.N.(*ast.RangeStmt)
+		if sinks {
+			w.scanSinks(rs.X, fact)
+		}
+		if _, o, bad := w.firstDanger(rs.X, fact); bad {
+			// Ranging over tainted data yields tainted element values;
+			// the index stays bounded by the range itself.
+			if v, ok := rs.Value.(*ast.Ident); ok {
+				w.taintIdent(v, o, fact)
+			}
+		} else if v, ok := rs.Value.(*ast.Ident); ok {
+			w.killIdent(v, fact)
+		}
+	default:
+		if sinks {
+			w.scanSinks(n.N, fact)
+		}
+		w.stmtEffects(n.N, fact, sinks)
+	}
+}
+
+// cond processes a branch-condition expression: comparisons sanitize
+// their tainted operands, a switch tag is sanitized by being
+// dispatched on, and (when sinks is set) sub-expressions are still
+// scanned for index/make sinks. Short-circuit order is respected so
+// `n < len(b) && b[n] == 0` does not flag b[n].
+func (w *wtRun) cond(n ast.Node, fact *wtFact, sinks bool) {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		// Type-switch assign statement: ordinary effects.
+		if sinks {
+			w.scanSinks(n, fact)
+		}
+		w.stmtEffects(n, fact, sinks)
+		return
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if b, ok := e.(*ast.BinaryExpr); ok {
+			if b.Op == token.LAND || b.Op == token.LOR {
+				walk(b.X)
+				walk(b.Y)
+				return
+			}
+			if isComparison(b.Op) {
+				if sinks {
+					w.scanSinks(b.X, fact)
+					w.scanSinks(b.Y, fact)
+				}
+				w.sanitize(b.X, fact)
+				w.sanitize(b.Y, fact)
+				return
+			}
+		}
+		if sinks {
+			w.scanSinks(e, fact)
+		}
+		w.stmtEffects(e, fact, sinks)
+		// A bare switch tag (or case expression) is equality-tested
+		// against every arm: dispatching on a value bounds it.
+		w.sanitize(e, fact)
+	}
+	walk(e)
+}
+
+// sanitize marks the expression's tainted atoms as checked.
+func (w *wtRun) sanitize(e ast.Expr, fact *wtFact) {
+	for _, atom := range atomsIn(w.info(), e) {
+		if _, tainted := w.atomOrigin(atom, fact); tainted {
+			fact.checked[checkKey(atom)] = true
+		}
+	}
+}
+
+// loopCondSink reports tainted, unchecked loop bounds.
+func (w *wtRun) loopCondSink(n ast.Node, fact *wtFact) {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		return
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if b, ok := e.(*ast.BinaryExpr); ok {
+			switch {
+			case b.Op == token.LAND || b.Op == token.LOR:
+				walk(b.X)
+				walk(b.Y)
+			case isComparison(b.Op):
+				w.sink(b, fact, "loop bound")
+			}
+		}
+	}
+	walk(e)
+}
+
+// stmtEffects applies a node's assignments and call effects to fact.
+// sinks gates call-site sink reporting to the final pass, so one call
+// is not reported once per fixpoint iteration.
+func (w *wtRun) stmtEffects(n ast.Node, fact *wtFact, sinks bool) {
+	// Call effects apply wherever calls occur, including nested in
+	// expressions of non-assignment statements.
+	shallowEach(n, func(sub ast.Node) {
+		if call, ok := sub.(*ast.CallExpr); ok {
+			w.callEffects(call, fact, sinks)
+		}
+	})
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		w.assign(n, fact)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						w.assignOne(name, vs.Values[i], fact)
+					} else {
+						w.killIdent(name, fact)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt, *ast.SendStmt, *ast.IncDecStmt:
+		// call effects already applied
+	}
+}
+
+// assign transfers one assignment statement.
+func (w *wtRun) assign(a *ast.AssignStmt, fact *wtFact) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				w.assignOne(id, a.Rhs[i], fact)
+			}
+		}
+		return
+	}
+	// x, y := f(...): every result inherits the call's taint.
+	if len(a.Rhs) == 1 {
+		o, tainted := w.exprOrigin(a.Rhs[0], fact)
+		for _, lhs := range a.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if tainted {
+				w.taintIdent(id, o, fact)
+			} else {
+				w.killIdent(id, fact)
+			}
+		}
+	}
+}
+
+// assignOne transfers `id = rhs`.
+func (w *wtRun) assignOne(id *ast.Ident, rhs ast.Expr, fact *wtFact) {
+	if o, tainted := w.exprOrigin(rhs, fact); tainted {
+		w.taintIdent(id, o, fact)
+	} else {
+		w.killIdent(id, fact)
+	}
+}
+
+func (w *wtRun) objOf(id *ast.Ident) types.Object {
+	if obj := w.info().Defs[id]; obj != nil {
+		return obj
+	}
+	return w.info().Uses[id]
+}
+
+func (w *wtRun) taintIdent(id *ast.Ident, o origin, fact *wtFact) {
+	if id.Name == "_" {
+		return
+	}
+	obj := w.objOf(id)
+	if obj == nil {
+		return
+	}
+	fact.taint[obj] = o
+	w.killChecked(id.Name, fact)
+}
+
+func (w *wtRun) killIdent(id *ast.Ident, fact *wtFact) {
+	if id.Name == "_" {
+		return
+	}
+	obj := w.objOf(id)
+	if obj == nil {
+		return
+	}
+	delete(fact.taint, obj)
+	w.killChecked(id.Name, fact)
+}
+
+// killChecked drops checked facts rooted at a reassigned variable.
+func (w *wtRun) killChecked(name string, fact *wtFact) {
+	for k := range fact.checked {
+		if k == name || strings.HasPrefix(k, name+".") || strings.HasPrefix(k, name+"[") {
+			delete(fact.checked, k)
+		}
+	}
+}
+
+// exprOrigin reports whether the expression's value is tainted, and
+// by what. An expression whose every tainted atom has been checked is
+// clean: a bounded copy of wire data is just data.
+func (w *wtRun) exprOrigin(e ast.Expr, fact *wtFact) (origin, bool) {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && !isConversion(w.info(), call) {
+		if o, tainted := w.callResultOrigin(call, fact); tainted {
+			return o, true
+		}
+		return origin{}, false
+	}
+	if _, o, bad := w.firstDanger(e, fact); bad {
+		return o, true
+	}
+	return origin{}, false
+}
+
+// callResultOrigin decides whether a call's results are tainted.
+func (w *wtRun) callResultOrigin(call *ast.CallExpr, fact *wtFact) (origin, bool) {
+	if name, ok := builtinName(w.info(), call); ok {
+		switch name {
+		case "len", "cap", "min", "max", "copy":
+			// Bounded by values already in memory.
+			return origin{}, false
+		case "append":
+			// append result carries its operands' taint.
+			for _, arg := range call.Args {
+				if _, o, bad := w.firstDanger(arg, fact); bad {
+					return o, true
+				}
+			}
+			return origin{}, false
+		default:
+			return origin{}, false
+		}
+	}
+	if w.isFrameRead(call) {
+		return origin{desc: "status frame payload", pos: call.Pos(), param: -1}, true
+	}
+	if w.isWireRead(call) != nil {
+		// The integer results of a read (byte count) are bounded by
+		// the buffer the caller supplied; the taint lives in the
+		// buffer, handled by callEffects.
+		return origin{}, false
+	}
+	// General rule: a call fed a tainted argument produces tainted
+	// results — Uvarint, BigEndian.Uint32, module decode helpers.
+	for _, arg := range call.Args {
+		if _, o, bad := w.firstDanger(arg, fact); bad {
+			return o, true
+		}
+	}
+	return origin{}, false
+}
+
+// callEffects applies a call's side effects on fact: wire reads taint
+// their buffer argument, frame reads taint pointed-to frames, and
+// calls that check a parameter sanitize the argument (the countCap
+// pattern). It also reports tainted arguments flowing into callee
+// parameter sinks.
+func (w *wtRun) callEffects(call *ast.CallExpr, fact *wtFact, sinks bool) {
+	if buf := w.isWireRead(call); buf != nil {
+		if id, ok := rootIdent(w.info(), buf); ok {
+			w.taintIdent(id, origin{desc: "read from the network", pos: call.Pos(), param: -1}, fact)
+		}
+		return
+	}
+	if w.isFrameRead(call) {
+		// ReadFrameInto(r, &f): the frame the pointer argument names
+		// becomes wire data.
+		for _, arg := range call.Args {
+			t := w.info().TypeOf(arg)
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.Underlying().(*types.Pointer); ok && isStatusFrame(ptr.Elem()) {
+				if id, ok := rootIdent(w.info(), arg); ok {
+					w.taintIdent(id, origin{desc: "status frame payload", pos: call.Pos(), param: -1}, fact)
+				}
+			}
+		}
+		return
+	}
+	callee, ok := lint.CalleeFunc(w.info(), call)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		atom, o, bad := w.firstDanger(arg, fact)
+		if !bad {
+			continue
+		}
+		if sinks && w.taintSums != nil && !decodeNamed(callee.Name()) {
+			if ts := w.taintSums[callee]; ts != nil {
+				if kind, hit := ts.paramSink[i]; hit {
+					w.reportSink(call.Pos(), atom, o, "parameter "+paramName(callee, i)+" of "+callee.Name()+", used unchecked as a "+kind)
+				}
+			}
+		}
+		if w.sums.ParamChecked(callee, i) {
+			fact.checked[checkKey(atom)] = true
+		}
+	}
+}
+
+// scanSinks walks a node looking for make/index/slice sinks.
+func (w *wtRun) scanSinks(n ast.Node, fact *wtFact) {
+	shallowEach(n, func(sub ast.Node) {
+		switch sub := sub.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinName(w.info(), sub); ok && name == "make" {
+				for _, sz := range sub.Args[1:] {
+					w.sink(sz, fact, "make size")
+				}
+			}
+		case *ast.IndexExpr:
+			if w.indexable(sub.X) {
+				w.sink(sub.Index, fact, "slice index")
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{sub.Low, sub.High, sub.Max} {
+				if bound != nil {
+					w.sink(bound, fact, "slice bound")
+				}
+			}
+		}
+	})
+}
+
+// indexable reports whether indexing e can go out of bounds (slices,
+// arrays, strings — not maps).
+func (w *wtRun) indexable(e ast.Expr) bool {
+	t := w.info().TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// sink reports (or records, in summary mode) a tainted unchecked
+// value reaching a sink of the given kind.
+func (w *wtRun) sink(e ast.Expr, fact *wtFact, kind string) {
+	atom, o, bad := w.firstDanger(e, fact)
+	if !bad {
+		return
+	}
+	if o.param >= 0 {
+		if _, dup := w.summary.paramSink[o.param]; !dup {
+			w.summary.paramSink[o.param] = kind
+		}
+		return
+	}
+	w.reportSink(e.Pos(), atom, o, kind)
+}
+
+// reportSink emits one finding, using the def-use chains to point at
+// where the value was defined when that differs from where the taint
+// was born.
+func (w *wtRun) reportSink(pos token.Pos, atom ast.Expr, o origin, kind string) {
+	if w.report == nil {
+		return
+	}
+	fset := w.unit.Pkg.Fset
+	where := fset.Position(o.pos).Line
+	expr := types.ExprString(atom)
+	extra := ""
+	if id, ok := rootIdent(w.info(), atom); ok && w.du != nil {
+		if defs := w.du.DefsOf(id); len(defs) > 0 {
+			defLine := fset.Position(defs[len(defs)-1].Pos()).Line
+			if defLine != where && defLine != fset.Position(pos).Line {
+				extra = fmt.Sprintf(", defined at line %d", defLine)
+			}
+		}
+	}
+	w.report(pos, "wire-tainted value %q derives from %s (line %d%s) and reaches this %s without a bounds check",
+		expr, o.desc, where, extra, kind)
+}
+
+// firstDanger returns the first tainted, unchecked atom within e.
+func (w *wtRun) firstDanger(e ast.Expr, fact *wtFact) (ast.Expr, origin, bool) {
+	for _, atom := range atomsIn(w.info(), e) {
+		o, tainted := w.atomOrigin(atom, fact)
+		if !tainted {
+			continue
+		}
+		if fact.checked[checkKey(atom)] {
+			continue
+		}
+		return atom, o, true
+	}
+	return nil, origin{}, false
+}
+
+// atomOrigin reports the taint of one atom via its root variable.
+func (w *wtRun) atomOrigin(atom ast.Expr, fact *wtFact) (origin, bool) {
+	id, ok := rootIdent(w.info(), atom)
+	if !ok {
+		return origin{}, false
+	}
+	obj := w.info().Uses[id]
+	if obj == nil {
+		obj = w.info().Defs[id]
+	}
+	if obj == nil {
+		return origin{}, false
+	}
+	o, tainted := fact.taint[obj]
+	return o, tainted
+}
+
+// atomsIn decomposes an expression into its taint-relevant atoms:
+// maximal variable-rooted subexpressions whose values feed the
+// expression's result. len/cap/min/max (and non-atom operands) yield
+// nothing — their results are bounded.
+func atomsIn(info *types.Info, e ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+			out = append(out, e)
+		case *ast.StarExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.CallExpr:
+			if name, ok := builtinName(info, x); ok {
+				switch name {
+				case "len", "cap", "min", "max":
+					return
+				}
+				for _, a := range x.Args {
+					walk(a)
+				}
+				return
+			}
+			if isConversion(info, x) && len(x.Args) == 1 {
+				walk(x.Args[0])
+				return
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				walk(el)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// checkKey canonicalizes an atom for the checked set: conversions and
+// parens are stripped so `int(n)` and `n` share a fact.
+func checkKey(atom ast.Expr) string {
+	return types.ExprString(ast.Unparen(atom))
+}
+
+// builtinName reports the name of a builtin call.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// isWireRead reports (by returning the buffer argument) whether the
+// call reads raw bytes from the network into a caller buffer: a
+// Read*/ReadFrom* method on a net type or net.Conn/net.PacketConn
+// interface value, or io.ReadFull/io.ReadAtLeast.
+func (w *wtRun) isWireRead(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	if fn, ok := lint.CalleeFunc(w.info(), call); ok && fn.Pkg() != nil && fn.Pkg().Path() == "io" {
+		if (name == "ReadFull" || name == "ReadAtLeast") && len(call.Args) >= 2 {
+			return call.Args[1]
+		}
+		return nil
+	}
+	if !strings.HasPrefix(name, "Read") || len(call.Args) == 0 {
+		return nil
+	}
+	buf := call.Args[0]
+	if !isByteSlice(w.info().TypeOf(buf)) {
+		return nil
+	}
+	recv := w.info().TypeOf(sel.X)
+	if recv == nil {
+		return nil
+	}
+	if lint.IsNetType(recv) || isNetInterface(recv) {
+		return buf
+	}
+	return nil
+}
+
+// isFrameRead reports whether the call produces a status.Frame from a
+// stream (status.ReadFrame / status.ReadFrameInto).
+func (w *wtRun) isFrameRead(call *ast.CallExpr) bool {
+	fn, ok := lint.CalleeFunc(w.info(), call)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/status") && strings.HasPrefix(fn.Name(), "ReadFrame")
+}
+
+// isStatusFrame reports whether t is status.Frame.
+func isStatusFrame(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Frame" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/status")
+}
+
+// isNetInterface reports whether t is an interface declared in
+// package net (net.Conn, net.PacketConn).
+func isNetInterface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "net"
+}
+
+// isByteSlice reports whether t is []byte (or a named []byte).
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// paramName returns the i-th parameter's name for messages.
+func paramName(fn *types.Func, i int) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || i >= sig.Params().Len() {
+		return "?"
+	}
+	name := sig.Params().At(i).Name()
+	if name == "" {
+		return "?"
+	}
+	return name
+}

@@ -29,6 +29,14 @@
 //     buffer via status.Append*Batch so steady-state pushes allocate
 //     nothing.
 //
+// The analyzers above are syntactic: each looks at one function at a
+// time and matches call shapes. The flow-sensitive suite — wiretaint,
+// framecase, lockorder and leakygo — lives in the internal/lint/flow
+// subpackage, which builds an intraprocedural CFG, def-use chains and
+// a one-level call-summary layer on top of the same loaded packages.
+// Flow analyzers register themselves through Register and run either
+// per package (Run) or once over the whole module (RunModule).
+//
 // A finding may be suppressed with a directive comment on the same
 // line or the line directly above it:
 //
@@ -105,12 +113,49 @@ type Analyzer struct {
 	// Doc is a one-line description.
 	Doc string
 	// Run inspects pass.Pkg and calls pass.Reportf for violations.
+	// Analyzers that need the whole module at once leave Run nil and
+	// set RunModule instead.
 	Run func(pass *Pass)
+	// RunModule, when set, runs once over every loaded package
+	// together — the shape module-wide analyses (lock-order graphs,
+	// cross-package call summaries) need.
+	RunModule func(pass *ModulePass)
 }
 
-// Analyzers returns the full suite in reporting order.
+// ModulePass carries one module-level analyzer's run over all loaded
+// packages at once.
+type ModulePass struct {
+	Pkgs     []*Package
+	analyzer *Analyzer
+	findings []Finding
+}
+
+// Reportf records a finding at pos, which must belong to pkg's file
+// set.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// registered holds analyzers contributed by subpackages (the flow
+// suite) via Register.
+var registered []*Analyzer
+
+// Register appends analyzers to the suite returned by Analyzers. The
+// flow subpackage calls it from init; importing that package is what
+// arms the flow-sensitive checks.
+func Register(as ...*Analyzer) {
+	registered = append(registered, as...)
+}
+
+// Analyzers returns the full suite in reporting order: the built-in
+// syntactic analyzers followed by registered flow analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache, BatchBuf}
+	base := []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache, BatchBuf}
+	return append(base, registered...)
 }
 
 // ByName returns the analyzer with the given name, if any.
@@ -124,19 +169,38 @@ func ByName(name string) (*Analyzer, bool) {
 }
 
 // Run applies the analyzers to the packages, filters suppressed
-// findings and returns the rest sorted by position.
+// findings and returns the rest sorted by position. Per-package
+// analyzers run on each package in turn; module analyzers run once
+// over the whole set.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
+	ig := newIgnoreSet()
 	for _, pkg := range pkgs {
-		ig := collectIgnores(pkg)
-		out = append(out, ig.malformed...)
+		ig.collect(pkg)
+	}
+	out := append([]Finding(nil), ig.malformed...)
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Pkg: pkg, analyzer: a}
 			a.Run(pass)
 			for _, f := range pass.findings {
 				if !ig.suppresses(f) {
 					out = append(out, f)
 				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Pkgs: pkgs, analyzer: a}
+		a.RunModule(pass)
+		for _, f := range pass.findings {
+			if !ig.suppresses(f) {
+				out = append(out, f)
 			}
 		}
 	}
@@ -165,12 +229,15 @@ type ignoreSet struct {
 
 const ignorePrefix = "lint:ignore"
 
-// collectIgnores scans every comment in the package for suppression
+func newIgnoreSet() *ignoreSet {
+	return &ignoreSet{byLine: make(map[string]map[int][]ignoreDirective)}
+}
+
+// collect scans every comment in the package for suppression
 // directives. A directive suppresses matching findings on its own
 // line and on the line immediately below it, so both trailing and
 // preceding-line comments work.
-func collectIgnores(pkg *Package) *ignoreSet {
-	ig := &ignoreSet{byLine: make(map[string]map[int][]ignoreDirective)}
+func (ig *ignoreSet) collect(pkg *Package) {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -206,7 +273,6 @@ func collectIgnores(pkg *Package) *ignoreSet {
 			}
 		}
 	}
-	return ig
 }
 
 func (ig *ignoreSet) suppresses(f Finding) bool {
@@ -226,14 +292,14 @@ func (ig *ignoreSet) suppresses(f Finding) bool {
 
 // --- shared type-query helpers ---------------------------------------
 
-// isTestFile reports whether the file holding pos is a _test.go file.
-func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+// IsTestFile reports whether the file holding pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
 }
 
-// calleeFunc resolves the function or method object a call invokes,
+// CalleeFunc resolves the function or method object a call invokes,
 // when it is statically known.
-func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+func CalleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
 	switch fn := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
 		if obj, ok := info.Uses[fn.Sel].(*types.Func); ok {
@@ -247,20 +313,20 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
 	return nil, false
 }
 
-// calleeFrom reports whether the call statically resolves to a
+// CalleeFrom reports whether the call statically resolves to a
 // function or method declared in the package with the given import
 // path, returning its name.
-func calleeFrom(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
-	obj, ok := calleeFunc(info, call)
+func CalleeFrom(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	obj, ok := CalleeFunc(info, call)
 	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
 		return "", false
 	}
 	return obj.Name(), true
 }
 
-// receiverExpr returns the receiver expression of a method call, e.g.
+// ReceiverExpr returns the receiver expression of a method call, e.g.
 // `s.mu` for `s.mu.Lock()`.
-func receiverExpr(call *ast.CallExpr) (ast.Expr, bool) {
+func ReceiverExpr(call *ast.CallExpr) (ast.Expr, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return nil, false
@@ -268,9 +334,9 @@ func receiverExpr(call *ast.CallExpr) (ast.Expr, bool) {
 	return sel.X, true
 }
 
-// isNetType reports whether t (after stripping pointers) is a named
+// IsNetType reports whether t (after stripping pointers) is a named
 // type declared in package net.
-func isNetType(t types.Type) bool {
+func IsNetType(t types.Type) bool {
 	for {
 		ptr, ok := t.Underlying().(*types.Pointer)
 		if !ok {
@@ -286,9 +352,9 @@ func isNetType(t types.Type) bool {
 	return pkg != nil && pkg.Path() == "net"
 }
 
-// hasContextParam reports whether the function type declares a
+// HasContextParam reports whether the function type declares a
 // context.Context parameter.
-func hasContextParam(info *types.Info, ftype *ast.FuncType) bool {
+func HasContextParam(info *types.Info, ftype *ast.FuncType) bool {
 	if ftype == nil || ftype.Params == nil {
 		return false
 	}
@@ -309,12 +375,12 @@ func hasContextParam(info *types.Info, ftype *ast.FuncType) bool {
 	return false
 }
 
-// funcUnits walks the file and yields every function body — top-level
+// FuncUnits walks the file and yields every function body — top-level
 // declarations and function literals — exactly once each, with the
 // corresponding *ast.FuncType. Analyzers that need per-function state
 // use this instead of raw ast.Inspect so a nested literal is not
 // double-visited with its enclosing function's state.
-func funcUnits(file *ast.File, visit func(ftype *ast.FuncType, body *ast.BlockStmt)) {
+func FuncUnits(file *ast.File, visit func(ftype *ast.FuncType, body *ast.BlockStmt)) {
 	ast.Inspect(file, func(n ast.Node) bool {
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
@@ -328,9 +394,9 @@ func funcUnits(file *ast.File, visit func(ftype *ast.FuncType, body *ast.BlockSt
 	})
 }
 
-// inspectShallow walks body but does not descend into nested function
+// InspectShallow walks body but does not descend into nested function
 // literals, which form their own analysis units.
-func inspectShallow(body *ast.BlockStmt, visit func(n ast.Node) bool) {
+func InspectShallow(body *ast.BlockStmt, visit func(n ast.Node) bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false

@@ -10,6 +10,9 @@ import (
 	"testing"
 
 	"smartsock/internal/lint"
+	// Arm the flow-sensitive suite, as cmd/smartlint does: Analyzers()
+	// must return the full registered set here.
+	_ "smartsock/internal/lint/flow"
 )
 
 // Fixtures type-check against tiny in-memory stand-ins for the
@@ -640,7 +643,10 @@ func b() {}
 // TestSuiteNames pins the analyzer set: CHANGING THIS LIST means
 // updating README.md's correctness-tooling section too.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache", "batchbuf"}
+	want := []string{
+		"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache", "batchbuf",
+		"wiretaint", "framecase", "lockorder", "leakygo",
+	}
 	as := lint.Analyzers()
 	if len(as) != len(want) {
 		t.Fatalf("%d analyzers, want %d", len(as), len(want))

@@ -36,7 +36,7 @@ var netBlockingFuncs = map[string]bool{
 }
 
 func isNetBlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
-	name, ok := calleeFrom(info, call, "net")
+	name, ok := CalleeFrom(info, call, "net")
 	if !ok {
 		return "", false
 	}
@@ -46,7 +46,7 @@ func isNetBlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	// Method on a net type (or resolved through an embedded net.Conn):
 	// require a receiver so qualified non-blocking helpers like
 	// net.JoinHostPort never match.
-	if _, isMethod := receiverExpr(call); !isMethod {
+	if _, isMethod := ReceiverExpr(call); !isMethod {
 		return "", false
 	}
 	for _, prefix := range netBlockingPrefixes {
@@ -58,11 +58,11 @@ func isNetBlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 }
 
 func isSyncLockCall(info *types.Info, call *ast.CallExpr) (key string, lock bool, ok bool) {
-	name, fromSync := calleeFrom(info, call, "sync")
+	name, fromSync := CalleeFrom(info, call, "sync")
 	if !fromSync {
 		return "", false, false
 	}
-	recv, isMethod := receiverExpr(call)
+	recv, isMethod := ReceiverExpr(call)
 	if !isMethod {
 		return "", false, false
 	}
@@ -84,10 +84,10 @@ type mutexEvent struct {
 
 func runMutexHeld(pass *Pass) {
 	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+		if IsTestFile(pass.Pkg.Fset, file.Pos()) {
 			continue
 		}
-		funcUnits(file, func(_ *ast.FuncType, body *ast.BlockStmt) {
+		FuncUnits(file, func(_ *ast.FuncType, body *ast.BlockStmt) {
 			checkMutexUnit(pass, body)
 		})
 	}
@@ -96,7 +96,7 @@ func runMutexHeld(pass *Pass) {
 func checkMutexUnit(pass *Pass, body *ast.BlockStmt) {
 	var events []mutexEvent
 	deferred := map[*ast.CallExpr]bool{}
-	inspectShallow(body, func(n ast.Node) bool {
+	InspectShallow(body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.DeferStmt:
 			deferred[node.Call] = true

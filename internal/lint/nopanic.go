@@ -20,7 +20,7 @@ func runNoPanic(pass *Pass) {
 		return
 	}
 	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+		if IsTestFile(pass.Pkg.Fset, file.Pos()) {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {

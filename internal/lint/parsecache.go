@@ -29,7 +29,7 @@ var ParseCache = &Analyzer{
 				if !ok {
 					return true
 				}
-				if name, ok := calleeFrom(pass.Pkg.Info, call, "smartsock/internal/reqlang"); ok && name == "Parse" {
+				if name, ok := CalleeFrom(pass.Pkg.Info, call, "smartsock/internal/reqlang"); ok && name == "Parse" {
 					pass.Reportf(call.Pos(), "reqlang.Parse on the wizard request path; use reqlang.Cache.Get so repeated requirements compile once")
 				}
 				return true

@@ -21,7 +21,7 @@ func runSleepFree(pass *Pass) {
 		return
 	}
 	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Pkg.Fset, file.Pos()) {
+		if IsTestFile(pass.Pkg.Fset, file.Pos()) {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -29,7 +29,7 @@ func runSleepFree(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if name, ok := calleeFrom(pass.Pkg.Info, call, "time"); ok && name == "Sleep" {
+			if name, ok := CalleeFrom(pass.Pkg.Info, call, "time"); ok && name == "Sleep" {
 				pass.Reportf(call.Pos(), "raw time.Sleep; use the package's injected sleep func or a context-aware timer")
 			}
 			return true

@@ -140,7 +140,7 @@ func (m *Monitor) Run(ctx context.Context) error {
 	}()
 
 	if m.tcp != nil {
-		go m.serveTCP()
+		go m.serveTCP(ctx)
 	}
 	go m.expireLoop(ctx)
 
@@ -179,7 +179,7 @@ func (m *Monitor) ingest(msg []byte) bool {
 	return true
 }
 
-func (m *Monitor) serveTCP() {
+func (m *Monitor) serveTCP(ctx context.Context) {
 	for {
 		conn, err := m.tcp.Accept()
 		if err != nil {
@@ -187,6 +187,10 @@ func (m *Monitor) serveTCP() {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
+			// Cancellation closes the connection immediately instead
+			// of letting the handler ride out its read deadline.
+			stop := context.AfterFunc(ctx, func() { _ = c.Close() })
+			defer stop()
 			if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
 				return
 			}

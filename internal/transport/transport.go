@@ -81,6 +81,7 @@ type Transmitter struct {
 	sentPartial atomic.Uint64 // snapshots aborted by a mid-write error
 	deltas      atomic.Uint64 // complete delta epochs shipped
 	skipped     atomic.Uint64 // unchanged epochs where no write happened
+	unknown     atomic.Uint64 // frames of unexpected type in passive mode
 
 	// Dial opens the push connection; nil means net.DialTimeout. The
 	// chaos layer wraps stall/reset faults around it.
@@ -114,6 +115,12 @@ func (t *Transmitter) Skipped() uint64 { return t.skipped.Load() }
 // Pushed reports all complete pushes: full snapshots plus delta
 // epochs.
 func (t *Transmitter) Pushed() uint64 { return t.Sent() + t.Deltas() }
+
+// UnknownFrames reports how many frames of unexpected type passive
+// mode has rejected. A non-zero count means some peer speaks a newer
+// (or corrupted) protocol — the counter is the visible trace that
+// frames are being dropped rather than silently vanishing.
+func (t *Transmitter) UnknownFrames() uint64 { return t.unknown.Load() }
 
 func (t *Transmitter) resyncEvery() int {
 	if t.ResyncEvery > 0 {
@@ -323,6 +330,10 @@ func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
+			// Cancellation closes the connection immediately instead
+			// of letting a parked puller ride out the read deadline.
+			stop := context.AfterFunc(ctx, func() { _ = c.Close() })
+			defer stop()
 			var enc encodeState
 			var rbuf []byte
 			for {
@@ -336,6 +347,7 @@ func (t *Transmitter) ServePassive(ctx context.Context, ln net.Listener) error {
 					return
 				}
 				if f.Type != status.TypeRequest {
+					t.unknown.Add(1)
 					t.logf("transmitter: unexpected frame %v in passive mode", f.Type)
 					return
 				}
@@ -391,6 +403,7 @@ type Receiver struct {
 	received atomic.Uint64 // frames applied
 	torn     atomic.Uint64 // connections dropped mid-frame
 	resyncs  atomic.Uint64 // delta continuity violations forcing resync
+	unknown  atomic.Uint64 // frames of unexpected type, counted then rejected
 
 	// pullMu guards pullVers and serialises delta/merge application of
 	// pull replies, so two concurrent pulls from the same transmitter
@@ -443,6 +456,12 @@ func (r *Receiver) Torn() uint64 { return r.torn.Load() }
 // longer matches the mirror, or a pulled transmitter observed to have
 // restarted with a reset version counter.
 func (r *Receiver) Resyncs() uint64 { return r.resyncs.Load() }
+
+// UnknownFrames reports how many frames of a type this receiver does
+// not dispatch have arrived, on push streams or in pull replies. Each
+// one also errors the connection it came from; the counter makes the
+// drops visible to dashboards instead of leaving only a log line.
+func (r *Receiver) UnknownFrames() uint64 { return r.unknown.Load() }
 
 // connState is the per-connection decode state of one push stream:
 // the version this stream has mirrored so far plus reusable read and
@@ -566,6 +585,7 @@ func (r *Receiver) apply(f status.Frame, cs *connState) error {
 		}
 		r.db.ApplySecDelta(cs.secV.Changed, cs.secV.Deleted, cs.secV.Refreshed)
 	default:
+		r.unknown.Add(1)
 		return fmt.Errorf("transport: unexpected frame type %v", f.Type)
 	}
 	r.received.Add(1)
@@ -749,6 +769,7 @@ func (r *Receiver) stagePullFrame(f status.Frame, base uint64, reply *pullReply)
 		}
 		reply.ver, reply.hasMark = ver, true
 	default:
+		r.unknown.Add(1)
 		return fmt.Errorf("transport: unexpected frame type %v in pull reply", f.Type)
 	}
 	return nil
@@ -892,6 +913,7 @@ func (r *Receiver) pullOneCompat(addr string, timeout time.Duration) (mergedBatc
 			}
 			m.sec = append(m.sec, recs...)
 		default:
+			r.unknown.Add(1)
 			return m, fmt.Errorf("transport: unexpected frame type %v in pull reply", f.Type)
 		}
 	}

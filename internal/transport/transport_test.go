@@ -267,4 +267,5 @@ func TestReceiverRejectsUnknownFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, 2*time.Second, func() bool { return dst.SysLen() == 1 })
+	waitFor(t, 2*time.Second, func() bool { return recv.UnknownFrames() == 1 })
 }
