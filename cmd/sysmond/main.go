@@ -26,6 +26,7 @@ import (
 	"smartsock/internal/bwest"
 	"smartsock/internal/monitor"
 	"smartsock/internal/netmon"
+	"smartsock/internal/obs"
 	"smartsock/internal/secmon"
 	"smartsock/internal/store"
 	"smartsock/internal/transport"
@@ -48,6 +49,7 @@ func main() {
 		netmonName = flag.String("netmon", "", "this node's network monitor name (enables netmon)")
 		compat     = flag.Bool("compat", false, "thesis-faithful wire mode: full snapshot every epoch, no deltas")
 		resyncEv   = flag.Int("resync-every", 0, "delta epochs between unsolicited full snapshots (0: default)")
+		debugAddr  = flag.String("debug", "", "HTTP metrics endpoint address, e.g. 127.0.0.1:6061 (empty: disabled)")
 		peers      peerList
 	)
 	flag.Var(&peers, "peer", "network peer as name=echoAddr (repeatable)")
@@ -58,6 +60,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		dbg, err := obs.NewDebugServer(*debugAddr, reg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		go func() {
+			if err := dbg.Run(ctx); err != nil {
+				logger.Printf("debug endpoint: %v", err)
+			}
+		}()
+		logger.Printf("debug metrics on http://%s/metrics", dbg.Addr())
+	}
+	db.RegisterObs(reg, "monitor")
+
 	mon, err := monitor.New(monitor.Config{
 		Addr:            *listen,
 		DB:              db,
@@ -65,6 +83,7 @@ func main() {
 		MissedIntervals: *missed,
 		EnableTCP:       *enableTCP,
 		Logger:          logger,
+		Obs:             reg,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -112,7 +131,7 @@ func main() {
 		logger.Printf("network monitor %s probing %d peers", *netmonName, len(nps))
 	}
 
-	tx, err := transport.NewTransmitter(db, logger)
+	tx, err := transport.NewTransmitterObs(db, logger, reg)
 	if err != nil {
 		logger.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"smartsock/internal/core"
+	"smartsock/internal/obs"
 	"smartsock/internal/store"
 	"smartsock/internal/transport"
 	"smartsock/internal/wizard"
@@ -42,6 +43,7 @@ func main() {
 		workers     = flag.Int("workers", 1, "concurrent request handlers; 1 is the thesis-faithful sequential mode")
 		cacheSize   = flag.Int("cache-size", 0, "compiled-requirement cache entries (0: default, <0: disable)")
 		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, full-snapshot transport")
+		debugAddr   = flag.String("debug", "", "HTTP metrics endpoint address, e.g. 127.0.0.1:6060 (empty: disabled)")
 		pulls       addrList
 	)
 	flag.Var(&pulls, "pull", "passive transmitter to pull from on each request (repeatable; enables distributed mode)")
@@ -52,7 +54,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	recv, err := transport.NewReceiver(db, *recvListen, logger)
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		dbg, err := obs.NewDebugServer(*debugAddr, reg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		go func() {
+			if err := dbg.Run(ctx); err != nil {
+				logger.Printf("debug endpoint: %v", err)
+			}
+		}()
+		logger.Printf("debug metrics on http://%s/metrics", dbg.Addr())
+	}
+	db.RegisterObs(reg, "wizard")
+
+	recv, err := transport.NewReceiverObs(db, *recvListen, logger, reg)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -87,6 +105,7 @@ func main() {
 		LocalMonitor: *localMon,
 		GroupOf:      groupOf,
 		ServicePort:  *servicePort,
+		Obs:          reg,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -113,6 +132,7 @@ func main() {
 		Logger:    logger,
 		Workers:   *workers,
 		CacheSize: *cacheSize,
+		Obs:       reg,
 	})
 	if err != nil {
 		logger.Fatal(err)

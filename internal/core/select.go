@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"smartsock/internal/obs"
 	"smartsock/internal/proto"
 	"smartsock/internal/reqlang"
 	"smartsock/internal/store"
@@ -41,6 +42,10 @@ type Config struct {
 	// candidate lists even before the monitor's expiry sweep removes
 	// its record. Zero disables the filter (historical behaviour).
 	MaxStatusAge time.Duration
+	// Obs, when set, registers the selector's cumulative counters
+	// (core_selections, core_memo_hits, core_stale_dropped); nil
+	// detaches them.
+	Obs *obs.Registry
 }
 
 // Decision records why one server was accepted or rejected — the
@@ -86,6 +91,10 @@ type Selector struct {
 	portSuffix string
 	envPool    sync.Pool // of *reqlang.Env with a reusable Params map
 	memo       selMemo
+
+	selections   *obs.Counter // core_selections: Select calls
+	memoHits     *obs.Counter // core_memo_hits: served from the epoch memo
+	staleDropped *obs.Counter // core_stale_dropped: records skipped as stale
 }
 
 // memoKey identifies one selection question. Programs come from the
@@ -145,7 +154,13 @@ func New(db *store.DB, cfg Config) (*Selector, error) {
 	if db == nil {
 		return nil, fmt.Errorf("core: nil database")
 	}
-	s := &Selector{cfg: cfg, db: db}
+	s := &Selector{
+		cfg:          cfg,
+		db:           db,
+		selections:   cfg.Obs.Counter("core_selections"),
+		memoHits:     cfg.Obs.Counter("core_memo_hits"),
+		staleDropped: cfg.Obs.Counter("core_stale_dropped"),
+	}
 	if cfg.ServicePort > 0 {
 		s.portSuffix = ":" + strconv.Itoa(cfg.ServicePort)
 	}
@@ -201,8 +216,10 @@ func (s *Selector) Select(prog *reqlang.Program, n int, opt proto.Option) (Resul
 	// table epoch: serve storm repeats from the memo.
 	pure := !needNet && !needSec && !filterStale
 	key := memoKey{prog: prog, n: n, opt: opt}
+	s.selections.Add(1)
 	if pure {
 		if v, ok := s.memo.get(snap.Epoch, key); ok {
+			s.memoHits.Add(1)
 			return v.res, v.err
 		}
 	}
@@ -289,6 +306,9 @@ func (s *Selector) Select(prog *reqlang.Program, n int, opt proto.Option) (Resul
 	var selErr error
 	if result.Shortfall > 0 && opt&proto.OptPartialOK == 0 {
 		selErr = fmt.Errorf("core: only %d of %d requested servers qualify", len(result.Servers), n)
+	}
+	if result.StaleDropped > 0 {
+		s.staleDropped.Add(uint64(result.StaleDropped))
 	}
 	if pure {
 		s.memo.put(snap.Epoch, key, memoVal{res: result, err: selErr})

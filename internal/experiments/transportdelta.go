@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smartsock/internal/obs"
 	"smartsock/internal/store"
 	"smartsock/internal/sysinfo"
 	"smartsock/internal/transport"
@@ -44,13 +45,17 @@ func transportDelta(o Options) (*Table, error) {
 		Title:   "Wire bytes per status epoch: full snapshots vs deltas",
 		Columns: []string{"fleet", "changed/epoch", "full B/epoch", "delta B/epoch", "reduction"},
 	}
+	// One registry spans every delta-protocol run, so the obs snapshot
+	// recorded in the notes is the experiment's own activity read back
+	// through the same interface the -debug endpoint serves.
+	reg := obs.NewRegistry()
 	for _, n := range fleets {
 		for _, rate := range rates {
-			full, err := measureTransport(n, rate, epochs, true)
+			full, err := measureTransport(n, rate, epochs, true, nil)
 			if err != nil {
 				return nil, fmt.Errorf("transport.delta full n=%d: %w", n, err)
 			}
-			delta, err := measureTransport(n, rate, epochs, false)
+			delta, err := measureTransport(n, rate, epochs, false, reg)
 			if err != nil {
 				return nil, fmt.Errorf("transport.delta delta n=%d: %w", n, err)
 			}
@@ -67,9 +72,14 @@ func transportDelta(o Options) (*Table, error) {
 			)
 		}
 	}
+	snap := reg.Snapshot()
 	t.Notes = append(t.Notes,
 		"each epoch is one distributed-mode pull over loopback TCP; bytes are the puller's read side",
 		"an unchanged fleet costs the delta protocol one snap-mark frame; the push path skips even that",
+		fmt.Sprintf("obs across all delta runs: tx snapshots=%d delta_epochs=%d skipped=%d; recv frames=%d resyncs=%d torn=%d",
+			snap.Counters["transport_tx_snapshots"], snap.Counters["transport_tx_delta_epochs"],
+			snap.Counters["transport_tx_epochs_skipped"], snap.Counters["transport_recv_frames"],
+			snap.Counters["transport_recv_resyncs"], snap.Counters["transport_recv_torn"]),
 	)
 	return t, nil
 }
@@ -90,7 +100,7 @@ func (c *countingConn) Read(b []byte) (int, error) {
 // measureTransport syncs a puller against a fleet of n hosts, then
 // runs the given number of epochs with rate×n content changes each
 // and reports the mean reply bytes per epoch.
-func measureTransport(n int, rate float64, epochs int, compat bool) (float64, error) {
+func measureTransport(n int, rate float64, epochs int, compat bool, reg *obs.Registry) (float64, error) {
 	src := store.New()
 	hosts := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -98,7 +108,7 @@ func measureTransport(n int, rate float64, epochs int, compat bool) (float64, er
 		src.PutSys(sysinfo.Idle(hosts[i], 1000+float64(i%7)*500, 256))
 	}
 
-	tx, err := transport.NewTransmitter(src, nil)
+	tx, err := transport.NewTransmitterObs(src, nil, reg)
 	if err != nil {
 		return 0, err
 	}
@@ -112,7 +122,7 @@ func measureTransport(n int, rate float64, epochs int, compat bool) (float64, er
 	go tx.ServePassive(ctx, ln)
 
 	dst := store.New()
-	recv, err := transport.NewReceiver(dst, "127.0.0.1:0", nil)
+	recv, err := transport.NewReceiverObs(dst, "127.0.0.1:0", nil, reg)
 	if err != nil {
 		return 0, err
 	}

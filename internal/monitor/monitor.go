@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smartsock/internal/obs"
 	"smartsock/internal/status"
 	"smartsock/internal/store"
 )
@@ -45,6 +46,9 @@ type Config struct {
 	ExpireAll bool
 	// Logger receives decode errors; nil silences them.
 	Logger *log.Logger
+	// Obs, when set, registers the monitor's counters (monitor_reports,
+	// monitor_reports_dropped, monitor_expired); nil detaches them.
+	Obs *obs.Registry
 }
 
 // Monitor is a running system status monitor.
@@ -52,8 +56,9 @@ type Monitor struct {
 	cfg      Config
 	udp      *net.UDPConn
 	tcp      net.Listener
-	received atomic.Uint64
-	expired  atomic.Uint64
+	received *obs.Counter // monitor_reports: valid reports ingested
+	dropped  *obs.Counter // monitor_reports_dropped: undecodable reports
+	expired  *obs.Counter // monitor_expired: records aged out
 	// reportMask, when non-zero, is pushed back to every reporting
 	// probe as a control reply (Ch. 6 selected parameters): probes
 	// then measure and ship only the named groups. Zero means "report
@@ -97,7 +102,13 @@ func New(cfg Config) (*Monitor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("monitor: listen udp: %w", err)
 		}
-		m := &Monitor{cfg: cfg, udp: udp}
+		m := &Monitor{
+			cfg:      cfg,
+			udp:      udp,
+			received: cfg.Obs.Counter("monitor_reports"),
+			dropped:  cfg.Obs.Counter("monitor_reports_dropped"),
+			expired:  cfg.Obs.Counter("monitor_expired"),
+		}
 		if !cfg.EnableTCP {
 			return m, nil
 		}
@@ -118,10 +129,13 @@ func New(cfg Config) (*Monitor, error) {
 func (m *Monitor) Addr() string { return m.udp.LocalAddr().String() }
 
 // Received reports how many valid reports have been ingested.
-func (m *Monitor) Received() uint64 { return m.received.Load() }
+func (m *Monitor) Received() uint64 { return m.received.Value() }
 
 // Expired reports how many server records have been expired.
-func (m *Monitor) Expired() uint64 { return m.expired.Load() }
+func (m *Monitor) Expired() uint64 { return m.expired.Value() }
+
+// Dropped reports how many undecodable reports were discarded.
+func (m *Monitor) Dropped() uint64 { return m.dropped.Value() }
 
 // Run serves until the context is cancelled.
 func (m *Monitor) Run(ctx context.Context) error {
@@ -171,6 +185,7 @@ func (m *Monitor) Run(ctx context.Context) error {
 func (m *Monitor) ingest(msg []byte) bool {
 	s, err := status.DecodeReport(msg)
 	if err != nil {
+		m.dropped.Add(1)
 		m.logf("monitor: dropping report: %v", err)
 		return false
 	}

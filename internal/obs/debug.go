@@ -1,0 +1,76 @@
+// The opt-in HTTP debug endpoint: `sysmond -debug addr` and
+// `wizardd -debug addr` serve their registry here so operators (and
+// the CI smoke job) can read the whole pipeline's state with curl.
+// It is a diagnostics port, not a public API: bind it to loopback or
+// an operations network.
+
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DebugServer serves a registry over HTTP:
+//
+//	GET /metrics       plaintext dump (sorted name value lines)
+//	GET /metrics.json  the Snapshot as indented JSON
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewDebugServer binds the debug listener; addr may use port 0.
+func NewDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", textHandler(reg))
+	mux.Handle("/metrics.json", jsonHandler(reg))
+	return &DebugServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:      mux,
+			ReadTimeout:  10 * time.Second,
+			WriteTimeout: 10 * time.Second,
+		},
+	}, nil
+}
+
+// Addr reports the bound address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Run serves until the context is cancelled.
+func (d *DebugServer) Run(ctx context.Context) error {
+	// Cancellation closes the server (and with it the listener), which
+	// Serve surfaces as ErrServerClosed.
+	stop := context.AfterFunc(ctx, func() { _ = d.srv.Close() })
+	defer stop()
+	err := d.srv.Serve(d.ln)
+	if errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed) || ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+func textHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// A reader disconnecting mid-dump is its own problem; the next
+		// scrape starts fresh.
+		_ = reg.Snapshot().WriteText(w)
+	})
+}
+
+func jsonHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerServesBothFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport_tx_delta_epochs").Add(11)
+	r.Gauge("transport_epoch_lag").Set(2)
+	r.Histogram("wizard_latency_answered", LatencyBuckets).Observe(1500)
+
+	d, err := NewDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	base := "http://" + d.Addr()
+	body := httpGet(t, base+"/metrics")
+	if !strings.Contains(body, "transport_tx_delta_epochs 11") {
+		t.Fatalf("plaintext dump missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `wizard_latency_answered_bucket{le="5000"} 1`) {
+		t.Fatalf("plaintext dump missing histogram bucket:\n%s", body)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/metrics.json")), &snap); err != nil {
+		t.Fatalf("metrics.json not valid JSON: %v", err)
+	}
+	if snap.Counters["transport_tx_delta_epochs"] != 11 || snap.Gauges["transport_epoch_lag"] != 2 {
+		t.Fatalf("json snapshot wrong: %+v", snap)
+	}
+	if snap.Histograms["wizard_latency_answered"].Count != 1 {
+		t.Fatalf("json snapshot histogram wrong: %+v", snap.Histograms)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v after cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Run did not exit after cancel")
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := NewDebugServer("256.0.0.1:bogus", NewRegistry()); err == nil {
+		t.Fatalf("bogus addr accepted")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b)
+}

@@ -3,7 +3,8 @@ package reqlang
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"smartsock/internal/obs"
 )
 
 // DefaultCacheSize is the compiled-program cache bound used when a
@@ -29,8 +30,8 @@ type Cache struct {
 	ll      *list.List               // front = most recently used
 	entries map[string]*list.Element // source text -> element
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits   *obs.Counter // reqlang_cache_hits
+	misses *obs.Counter // reqlang_cache_misses
 }
 
 type cacheEntry struct {
@@ -39,11 +40,23 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewCache builds a cache bounded to max compiled programs. A
-// non-positive max disables caching entirely: Get compiles on every
-// call (the seed behaviour, kept for comparison benchmarks).
+// NewCache builds a cache bounded to max compiled programs with
+// detached (unregistered) hit/miss counters. A non-positive max
+// disables caching entirely: Get compiles on every call (the seed
+// behaviour, kept for comparison benchmarks).
 func NewCache(max int) *Cache {
-	c := &Cache{max: max}
+	return NewCacheObs(max, nil)
+}
+
+// NewCacheObs builds a cache whose hit/miss counters live in reg as
+// reqlang_cache_hits / reqlang_cache_misses; a nil registry detaches
+// them.
+func NewCacheObs(max int, reg *obs.Registry) *Cache {
+	c := &Cache{
+		max:    max,
+		hits:   reg.Counter("reqlang_cache_hits"),
+		misses: reg.Counter("reqlang_cache_misses"),
+	}
 	if max > 0 {
 		c.ll = list.New()
 		c.entries = make(map[string]*list.Element, max)
@@ -92,7 +105,7 @@ func (c *Cache) Get(src string) (*Program, error) {
 
 // Stats reports the cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.Value(), c.misses.Value()
 }
 
 // Len reports the number of resident compiled programs.

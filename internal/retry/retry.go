@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"smartsock/internal/obs"
 )
 
 // Backoff produces successive wait times: Base, 2×Base, 4×Base, …
@@ -28,6 +30,9 @@ type Backoff struct {
 	// Rand supplies the jitter draws; nil uses the global source. Tests
 	// inject a seeded func for reproducible schedules.
 	Rand func() float64
+	// Metric, when set, counts every wait handed out — the owning
+	// component's retry rate (e.g. the transmitter's redial counter).
+	Metric *obs.Counter
 
 	mu      sync.Mutex
 	attempt int
@@ -40,6 +45,9 @@ func (b *Backoff) Next() time.Duration {
 	attempt := b.attempt
 	b.attempt++
 	b.mu.Unlock()
+	if b.Metric != nil {
+		b.Metric.Inc()
+	}
 
 	base := b.Base
 	if base <= 0 {

@@ -1,0 +1,28 @@
+package store
+
+import (
+	"fmt"
+
+	"smartsock/internal/obs"
+)
+
+// RegisterObs publishes the database's levels into a registry as
+// function gauges evaluated at snapshot time — the database already
+// maintains them, so nothing is added to the write path. name
+// distinguishes multiple databases in one process (the daemons use
+// "monitor" and "wizard"):
+//
+//	store_<name>_ver          database-wide version counter
+//	store_<name>_sys_epoch    sys content-mutation counter
+//	store_<name>_sys_records  live server records
+//	store_<name>_net_records  live network metric records
+//	store_<name>_sec_records  live security level records
+//
+// A nil registry is a no-op.
+func (db *DB) RegisterObs(reg *obs.Registry, name string) {
+	reg.GaugeFunc(fmt.Sprintf("store_%s_ver", name), func() int64 { return int64(db.Ver()) })
+	reg.GaugeFunc(fmt.Sprintf("store_%s_sys_epoch", name), func() int64 { return int64(db.SysEpoch()) })
+	reg.GaugeFunc(fmt.Sprintf("store_%s_sys_records", name), func() int64 { return int64(db.SysLen()) })
+	reg.GaugeFunc(fmt.Sprintf("store_%s_net_records", name), func() int64 { return int64(db.NetLen()) })
+	reg.GaugeFunc(fmt.Sprintf("store_%s_sec_records", name), func() int64 { return int64(db.SecLen()) })
+}

@@ -276,6 +276,20 @@ func (db *DB) SysLen() int {
 	return len(db.sys)
 }
 
+// NetLen reports the number of live network metric records.
+func (db *DB) NetLen() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.net)
+}
+
+// SecLen reports the number of live security level records.
+func (db *DB) SecLen() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.sec)
+}
+
 // ExpireSys removes server records older than maxAge and returns the
 // expired hosts. The system monitor calls this regularly; an expired
 // server receives no further tasks until its probe resumes (§3.2.2).

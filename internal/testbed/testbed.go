@@ -24,6 +24,7 @@ import (
 	"smartsock/internal/core"
 	"smartsock/internal/monitor"
 	"smartsock/internal/netmon"
+	"smartsock/internal/obs"
 	"smartsock/internal/probe"
 	"smartsock/internal/secmon"
 	"smartsock/internal/simnet"
@@ -131,6 +132,10 @@ type Options struct {
 	// thesis-fidelity wire mode: a full three-frame snapshot every
 	// epoch (or pull), no deltas, no snap marks.
 	TransportCompat bool
+	// Obs, when set, registers every component's metrics (transport,
+	// monitor, wizard, selector, both databases) in one registry, the
+	// same wiring the daemons use under -debug. Nil detaches them.
+	Obs *obs.Registry
 }
 
 // Cluster is a running in-process deployment.
@@ -203,12 +208,15 @@ func Boot(opts Options) (*Cluster, error) {
 	}
 
 	// System monitor + probes (§3.2).
+	c.DB.RegisterObs(opts.Obs, "monitor")
+	c.WizardDB.RegisterObs(opts.Obs, "wizard")
 	sysMon, err := monitor.New(monitor.Config{
 		Addr:            "127.0.0.1:0",
 		DB:              c.DB,
 		Interval:        opts.ProbeInterval,
 		MissedIntervals: opts.MissedIntervals,
 		ExpireAll:       opts.ExpireAll,
+		Obs:             opts.Obs,
 	})
 	if err != nil {
 		return fail(err)
@@ -261,11 +269,11 @@ func Boot(opts Options) (*Cluster, error) {
 	go sm.Run(ctx)
 
 	// Transmitter → receiver (§3.5), then the wizard (§3.6).
-	tx, err := transport.NewTransmitter(c.DB, nil)
+	tx, err := transport.NewTransmitterObs(c.DB, nil, opts.Obs)
 	if err != nil {
 		return fail(err)
 	}
-	recv, err := transport.NewReceiver(c.WizardDB, "127.0.0.1:0", nil)
+	recv, err := transport.NewReceiverObs(c.WizardDB, "127.0.0.1:0", nil, opts.Obs)
 	if err != nil {
 		return fail(err)
 	}
@@ -309,6 +317,7 @@ func Boot(opts Options) (*Cluster, error) {
 		LocalMonitor: opts.LocalMonitor,
 		GroupOf:      groupOf,
 		MaxStatusAge: opts.MaxStatusAge,
+		Obs:          opts.Obs,
 	})
 	if err != nil {
 		return fail(err)
@@ -319,6 +328,7 @@ func Boot(opts Options) (*Cluster, error) {
 		Update:    update,
 		Workers:   opts.WizardWorkers,
 		CacheSize: opts.WizardCacheSize,
+		Obs:       opts.Obs,
 	})
 	if err != nil {
 		return fail(err)
@@ -395,6 +405,10 @@ func (c *Cluster) Wizard() *wizard.Wizard { return c.wizard }
 
 // MonitorAddr is the system monitor's report address.
 func (c *Cluster) MonitorAddr() string { return c.sysMonitor.Addr() }
+
+// Monitor exposes the system monitor, so chaos tests can reconcile
+// its report/expiry counters against the obs registry.
+func (c *Cluster) Monitor() *monitor.Monitor { return c.sysMonitor }
 
 // Close stops every component.
 func (c *Cluster) Close() { c.cancel() }

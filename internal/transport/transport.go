@@ -40,9 +40,9 @@ import (
 	"log"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"smartsock/internal/obs"
 	"smartsock/internal/retry"
 	"smartsock/internal/status"
 	"smartsock/internal/store"
@@ -77,40 +77,58 @@ type Transmitter struct {
 	// full snapshots on a push stream; 0 means defaultResyncEvery.
 	ResyncEvery int
 
-	sent        atomic.Uint64 // complete full snapshots shipped
-	sentPartial atomic.Uint64 // snapshots aborted by a mid-write error
-	deltas      atomic.Uint64 // complete delta epochs shipped
-	skipped     atomic.Uint64 // unchanged epochs where no write happened
-	unknown     atomic.Uint64 // frames of unexpected type in passive mode
+	sent        *obs.Counter // transport_tx_snapshots: complete full snapshots shipped
+	sentPartial *obs.Counter // transport_tx_snapshots_partial: aborted by a mid-write error
+	deltas      *obs.Counter // transport_tx_delta_epochs: complete delta epochs shipped
+	skipped     *obs.Counter // transport_tx_epochs_skipped: unchanged epochs, no write
+	unknown     *obs.Counter // transport_tx_unknown_frames: rejected in passive mode
+	redials     *obs.Counter // transport_tx_redials: backoff waits before a redial
 
 	// Dial opens the push connection; nil means net.DialTimeout. The
 	// chaos layer wraps stall/reset faults around it.
 	Dial func(network, addr string) (net.Conn, error)
 }
 
-// NewTransmitter builds a transmitter over the given database.
+// NewTransmitter builds a transmitter over the given database with
+// detached (unregistered) metrics.
 func NewTransmitter(db *store.DB, logger *log.Logger) (*Transmitter, error) {
+	return NewTransmitterObs(db, logger, nil)
+}
+
+// NewTransmitterObs builds a transmitter whose counters live in reg
+// under transport_tx_* names; a nil registry detaches them, which is
+// exactly NewTransmitter.
+func NewTransmitterObs(db *store.DB, logger *log.Logger, reg *obs.Registry) (*Transmitter, error) {
 	if db == nil {
 		return nil, fmt.Errorf("transport: nil database")
 	}
-	return &Transmitter{db: db, logger: logger}, nil
+	return &Transmitter{
+		db:          db,
+		logger:      logger,
+		sent:        reg.Counter("transport_tx_snapshots"),
+		sentPartial: reg.Counter("transport_tx_snapshots_partial"),
+		deltas:      reg.Counter("transport_tx_delta_epochs"),
+		skipped:     reg.Counter("transport_tx_epochs_skipped"),
+		unknown:     reg.Counter("transport_tx_unknown_frames"),
+		redials:     reg.Counter("transport_tx_redials"),
+	}, nil
 }
 
 // Sent reports how many complete full snapshots have been shipped. A
 // snapshot whose write died between frames is not counted here — it
 // shows up in SentPartial instead.
-func (t *Transmitter) Sent() uint64 { return t.sent.Load() }
+func (t *Transmitter) Sent() uint64 { return t.sent.Value() }
 
 // SentPartial reports how many snapshot writes failed after at least
 // one frame was already on the wire.
-func (t *Transmitter) SentPartial() uint64 { return t.sentPartial.Load() }
+func (t *Transmitter) SentPartial() uint64 { return t.sentPartial.Value() }
 
 // Deltas reports how many delta epochs have been shipped.
-func (t *Transmitter) Deltas() uint64 { return t.deltas.Load() }
+func (t *Transmitter) Deltas() uint64 { return t.deltas.Value() }
 
 // Skipped reports how many epochs carried no change at all, where the
 // transmitter skipped the network write entirely.
-func (t *Transmitter) Skipped() uint64 { return t.skipped.Load() }
+func (t *Transmitter) Skipped() uint64 { return t.skipped.Value() }
 
 // Pushed reports all complete pushes: full snapshots plus delta
 // epochs.
@@ -120,7 +138,7 @@ func (t *Transmitter) Pushed() uint64 { return t.Sent() + t.Deltas() }
 // mode has rejected. A non-zero count means some peer speaks a newer
 // (or corrupted) protocol — the counter is the visible trace that
 // frames are being dropped rather than silently vanishing.
-func (t *Transmitter) UnknownFrames() uint64 { return t.unknown.Load() }
+func (t *Transmitter) UnknownFrames() uint64 { return t.unknown.Value() }
 
 func (t *Transmitter) resyncEvery() int {
 	if t.ResyncEvery > 0 {
@@ -249,7 +267,7 @@ func (t *Transmitter) RunActive(ctx context.Context, receiverAddr string, interv
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	bo := &retry.Backoff{Base: interval, Max: 8 * interval}
+	bo := &retry.Backoff{Base: interval, Max: 8 * interval, Metric: t.redials}
 	timer := time.NewTimer(interval)
 	defer timer.Stop()
 	var conn net.Conn
@@ -400,10 +418,21 @@ type Receiver struct {
 	// whole-table load of exactly three reply frames, no versioning.
 	Compat bool
 
-	received atomic.Uint64 // frames applied
-	torn     atomic.Uint64 // connections dropped mid-frame
-	resyncs  atomic.Uint64 // delta continuity violations forcing resync
-	unknown  atomic.Uint64 // frames of unexpected type, counted then rejected
+	received *obs.Counter // transport_recv_frames: frames applied
+	torn     *obs.Counter // transport_recv_torn: connections dropped mid-frame
+	resyncs  *obs.Counter // transport_recv_resyncs: continuity violations forcing resync
+	unknown  *obs.Counter // transport_recv_unknown_frames: counted then rejected
+
+	// catchup distributes how many database versions each epoch anchor
+	// advanced the mirror by: 0–1 is the steady state, larger values
+	// are post-partition catch-up.
+	catchup *obs.Histogram
+
+	// reg (possibly nil) mints the per-source lag gauges below lazily:
+	// sources appear as they connect or get pulled.
+	reg   *obs.Registry
+	lagMu sync.Mutex
+	lags  map[string]*sourceLag
 
 	// pullMu guards pullVers and serialises delta/merge application of
 	// pull replies, so two concurrent pulls from the same transmitter
@@ -417,6 +446,56 @@ type Receiver struct {
 	Dial func(network, addr string) (net.Conn, error)
 }
 
+// sourceLag is the epoch-lag pair for one transmitter: the newest
+// version its frames have announced (head, set the moment a snap-mark
+// or delta header is parsed) against the version actually applied to
+// the mirror. The registered transport_epoch_lag gauge is their
+// difference — zero in steady state, positive while a source's frames
+// are being rejected or a staged pull has not landed.
+type sourceLag struct {
+	head    *obs.Gauge
+	applied *obs.Gauge
+}
+
+// observe records a frozen head/applied pair.
+func (l *sourceLag) observe(head, applied uint64) {
+	if l == nil {
+		return
+	}
+	l.head.Set(int64(head))
+	l.applied.Set(int64(applied))
+}
+
+// lagFor returns the lag pair for one source, registering its gauges
+// on first sight. Sources are keyed by host (push streams use the
+// remote IP, pulls the configured transmitter address) so reconnects
+// reuse the same series instead of minting one per ephemeral port.
+func (r *Receiver) lagFor(source string) *sourceLag {
+	r.lagMu.Lock()
+	defer r.lagMu.Unlock()
+	if l, ok := r.lags[source]; ok {
+		return l
+	}
+	l := &sourceLag{
+		head:    r.reg.Gauge(fmt.Sprintf("transport_head_ver{source=%q}", source)),
+		applied: r.reg.Gauge(fmt.Sprintf("transport_applied_ver{source=%q}", source)),
+	}
+	r.reg.GaugeFunc(fmt.Sprintf("transport_epoch_lag{source=%q}", source), func() int64 {
+		return l.head.Value() - l.applied.Value()
+	})
+	r.lags[source] = l
+	return l
+}
+
+// sourceHost reduces a remote address to its host so every reconnect
+// from one transmitter maps to one lag series.
+func sourceHost(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}
+
 // pullState is what the receiver remembers about one passive
 // transmitter between pulls: the version of that transmitter's
 // database it already mirrors.
@@ -425,8 +504,17 @@ type pullState struct {
 	synced bool
 }
 
-// NewReceiver binds the receiver's listener; addr may use port 0.
+// NewReceiver binds the receiver's listener with detached
+// (unregistered) metrics; addr may use port 0.
 func NewReceiver(db *store.DB, addr string, logger *log.Logger) (*Receiver, error) {
+	return NewReceiverObs(db, addr, logger, nil)
+}
+
+// NewReceiverObs binds a receiver whose counters live in reg under
+// transport_recv_* names, plus per-source transport_head_ver /
+// transport_applied_ver / transport_epoch_lag gauges minted as
+// transmitters appear. A nil registry detaches everything.
+func NewReceiverObs(db *store.DB, addr string, logger *log.Logger, reg *obs.Registry) (*Receiver, error) {
 	if db == nil {
 		return nil, fmt.Errorf("transport: nil database")
 	}
@@ -434,20 +522,32 @@ func NewReceiver(db *store.DB, addr string, logger *log.Logger) (*Receiver, erro
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
 	}
-	return &Receiver{db: db, ln: ln, logger: logger, pullVers: make(map[string]pullState)}, nil
+	return &Receiver{
+		db:       db,
+		ln:       ln,
+		logger:   logger,
+		received: reg.Counter("transport_recv_frames"),
+		torn:     reg.Counter("transport_recv_torn"),
+		resyncs:  reg.Counter("transport_recv_resyncs"),
+		unknown:  reg.Counter("transport_recv_unknown_frames"),
+		catchup:  reg.Histogram("transport_epoch_catchup", obs.LagBuckets),
+		reg:      reg,
+		lags:     make(map[string]*sourceLag),
+		pullVers: make(map[string]pullState),
+	}, nil
 }
 
 // Addr reports the bound address.
 func (r *Receiver) Addr() string { return r.ln.Addr().String() }
 
 // Received reports how many frames have been applied.
-func (r *Receiver) Received() uint64 { return r.received.Load() }
+func (r *Receiver) Received() uint64 { return r.received.Value() }
 
 // Torn reports how many transmitter connections ended mid-frame — a
 // header or payload truncated by a crash, reset or stalled-then-cut
 // link, as opposed to a clean close between frames. Historically both
 // looked like a normal disconnect, hiding real faults from operators.
-func (r *Receiver) Torn() uint64 { return r.torn.Load() }
+func (r *Receiver) Torn() uint64 { return r.torn.Value() }
 
 // Resyncs reports how many times delta continuity broke and a full
 // snapshot had to re-anchor a source: a push-stream version gap or a
@@ -455,13 +555,13 @@ func (r *Receiver) Torn() uint64 { return r.torn.Load() }
 // transmitter's reconnect resyncs it), a pull delta whose base no
 // longer matches the mirror, or a pulled transmitter observed to have
 // restarted with a reset version counter.
-func (r *Receiver) Resyncs() uint64 { return r.resyncs.Load() }
+func (r *Receiver) Resyncs() uint64 { return r.resyncs.Value() }
 
 // UnknownFrames reports how many frames of a type this receiver does
 // not dispatch have arrived, on push streams or in pull replies. Each
 // one also errors the connection it came from; the counter makes the
 // drops visible to dashboards instead of leaving only a log line.
-func (r *Receiver) UnknownFrames() uint64 { return r.unknown.Load() }
+func (r *Receiver) UnknownFrames() uint64 { return r.unknown.Value() }
 
 // connState is the per-connection decode state of one push stream:
 // the version this stream has mirrored so far plus reusable read and
@@ -475,6 +575,7 @@ type connState struct {
 	ver      uint64
 	epochTop uint64 // NewVer of the epoch currently being applied
 	synced   bool
+	lag      *sourceLag // nil-safe epoch-lag series for this stream's source
 }
 
 // Run accepts transmitter connections (centralized mode) until the
@@ -500,6 +601,7 @@ func (r *Receiver) Run(ctx context.Context) error {
 			stop := context.AfterFunc(ctx, func() { _ = c.Close() })
 			defer stop()
 			var cs connState
+			cs.lag = r.lagFor(sourceHost(c.RemoteAddr().String()))
 			for {
 				var f status.Frame
 				var err error
@@ -558,8 +660,15 @@ func (r *Receiver) apply(f status.Frame, cs *connState) error {
 		if err != nil {
 			return err
 		}
+		if cs.synced && ver > cs.ver {
+			// A periodic resync snapshot advanced an already-anchored
+			// stream; record how far it jumped. The first snapshot of a
+			// stream is an anchor, not catch-up, and is not observed.
+			r.catchup.Observe(int64(ver - cs.ver))
+		}
 		cs.ver, cs.epochTop = ver, ver
 		cs.synced = true
+		cs.lag.observe(ver, ver)
 	case status.TypeSysDelta:
 		if err := cs.sysV.Parse(f.Data); err != nil {
 			return err
@@ -588,6 +697,11 @@ func (r *Receiver) apply(f status.Frame, cs *connState) error {
 		r.unknown.Add(1)
 		return fmt.Errorf("transport: unexpected frame type %v", f.Type)
 	}
+	if cs.synced && cs.lag != nil {
+		// The frame landed in the mirror: applied has caught up to the
+		// stream's version (a no-op re-set on snap marks).
+		cs.lag.applied.Set(int64(cs.ver))
+	}
 	r.received.Add(1)
 	return nil
 }
@@ -598,6 +712,12 @@ func (r *Receiver) apply(f status.Frame, cs *connState) error {
 // other combination is a gap — some epoch was lost — and the stream
 // cannot be trusted until a full snapshot re-anchors it.
 func (r *Receiver) admitDelta(cs *connState, base, newVer uint64) error {
+	// The frame header announces the transmitter's head whether or not
+	// the frame is admitted; a rejected frame leaves head ahead of
+	// applied, which is exactly the lag an operator should see.
+	if cs.lag != nil && newVer > cs.ver {
+		cs.lag.head.Set(int64(newVer))
+	}
 	if !cs.synced {
 		r.resyncs.Add(1)
 		return fmt.Errorf("%w: delta before snapshot", errResync)
@@ -605,6 +725,7 @@ func (r *Receiver) admitDelta(cs *connState, base, newVer uint64) error {
 	switch {
 	case base == cs.ver && newVer >= base:
 		// First frame of a new epoch.
+		r.catchup.Observe(int64(newVer - base))
 		cs.epochTop = newVer
 		cs.ver = newVer
 		return nil
@@ -782,6 +903,11 @@ func (r *Receiver) stagePullFrame(f status.Frame, base uint64, reply *pullReply)
 // and a full reply older than what is already mirrored cannot clobber
 // the fresher records.
 func (r *Receiver) applyPull(addr string, base uint64, reply *pullReply) error {
+	lag := r.lagFor(addr)
+	// The closing snap mark announced the transmitter's head; applied
+	// only follows below if the reply actually lands, so a discarded
+	// reply leaves the gap visible as transport_epoch_lag.
+	lag.head.Set(int64(reply.ver))
 	r.pullMu.Lock()
 	defer r.pullMu.Unlock()
 	cur, haveCur := r.pullVers[addr]
@@ -822,12 +948,15 @@ func (r *Receiver) applyPull(addr string, base uint64, reply *pullReply) error {
 		r.db.ApplySysDelta(reply.sysV.Changed, reply.sysV.Deleted, reply.sysV.Refreshed)
 		r.db.ApplyNetDelta(reply.netV.Changed, reply.netV.Deleted, reply.netV.Refreshed)
 		r.db.ApplySecDelta(reply.secV.Changed, reply.secV.Deleted, reply.secV.Refreshed)
+		r.catchup.Observe(int64(reply.ver - base))
 		r.received.Add(1)
 	default:
 		// An empty reply: the transmitter had nothing newer. Leave the
-		// mirrored version untouched.
+		// mirrored version untouched — head and applied agree.
+		lag.applied.Set(int64(reply.ver))
 		return nil
 	}
+	lag.applied.Set(int64(reply.ver))
 	r.pullVers[addr] = pullState{ver: reply.ver, synced: true}
 	return nil
 }

@@ -1,0 +1,115 @@
+package wizard
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"smartsock/internal/obs"
+	"smartsock/internal/proto"
+)
+
+// TestAllocsAnswerCached pins the wizard's repeat-request fast path at
+// one allocation (the reply) with the obs registry fully live:
+// request counter, outcome classification and latency histogram all
+// recording. Observability must not cost the hot path anything.
+func TestAllocsAnswerCached(t *testing.T) {
+	sel, _ := testSelector(t)
+	w := startWizard(t, Config{Selector: sel, Obs: obs.NewRegistry()})
+	req := &proto.Request{
+		Seq: 1, ServerNum: 1,
+		Option: proto.OptPartialOK | proto.OptRankByExpr,
+		Detail: "host_cpu_bogomips > 2000\nscore = host_cpu_bogomips\nscore\n",
+	}
+	ctx := context.Background()
+	// Prime: first call parses and caches the requirement.
+	if reply := w.Answer(ctx, req); reply.Err != "" {
+		t.Fatal(reply.Err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if reply := w.Answer(ctx, req); reply.Err != "" {
+			t.Fatal(reply.Err)
+		}
+	})
+	if got > 1 {
+		t.Errorf("cached Answer allocates %.1f, pinned at 1", got)
+	}
+}
+
+// TestStatsConsistentUnderLoad reads Stats while concurrent workers
+// answer a mix of good and rejected requests. The snapshot must never
+// show more rejections than handled requests: rejected is incremented
+// after handled on the write side, so a reader loading rejected first
+// can only undercount rejections, never overshoot. Run under -race
+// this also proves Stats is a sound concurrent read of the obs
+// counters.
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	sel, _ := testSelector(t)
+	w := startWizard(t, Config{Selector: sel, Workers: 4, Obs: obs.NewRegistry()})
+
+	good := proto.MarshalRequest(&proto.Request{
+		Seq: 1, ServerNum: 1,
+		Option: proto.OptPartialOK,
+		Detail: "host_cpu_bogomips > 2000\n",
+	})
+	bad := proto.MarshalRequest(&proto.Request{
+		Seq: 2, ServerNum: 1,
+		Detail: "this is ((( not a requirement\n",
+	})
+
+	ctx := context.Background()
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				if (i+j)%3 == 0 {
+					w.handle(ctx, bad)
+				} else {
+					w.handle(ctx, good)
+				}
+			}
+		}(i)
+	}
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				s := w.Stats()
+				if s.Rejected > s.Handled {
+					t.Errorf("stats snapshot inverted: rejected=%d > handled=%d", s.Rejected, s.Handled)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	s := w.Stats()
+	if want := uint64(writers * perWriter); s.Handled != want {
+		t.Errorf("handled = %d, want %d", s.Handled, want)
+	}
+	wantRejected := uint64(0)
+	for i := 0; i < writers; i++ {
+		for j := 0; j < perWriter; j++ {
+			if (i+j)%3 == 0 {
+				wantRejected++
+			}
+		}
+	}
+	if s.Rejected != wantRejected {
+		t.Errorf("rejected = %d, want %d", s.Rejected, wantRejected)
+	}
+}

@@ -30,8 +30,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smartsock/internal/core"
+	"smartsock/internal/obs"
 	"smartsock/internal/proto"
 	"smartsock/internal/reqlang"
 )
@@ -65,6 +67,11 @@ type Config struct {
 	// caching so every request re-parses (the seed behaviour, kept
 	// for comparison benchmarks and wizardd -compat).
 	CacheSize int
+	// Obs, when set, registers the wizard's counters (wizard_requests,
+	// wizard_rejected, wizard_update_failures), its per-outcome
+	// request-latency histograms (wizard_latency_*) and the
+	// requirement cache's hit/miss counters; nil detaches them all.
+	Obs *obs.Registry
 }
 
 // Wizard is a running request handler.
@@ -73,9 +80,17 @@ type Wizard struct {
 	conn       *net.UDPConn
 	cache      *reqlang.Cache
 	templates  atomic.Pointer[map[string]string]
-	handled    atomic.Uint64
-	rejected   atomic.Uint64
-	updateFail atomic.Uint64
+	handled    *obs.Counter // wizard_requests: requests answered
+	rejected   *obs.Counter // wizard_rejected: answered with an error
+	updateFail *obs.Counter // wizard_update_failures: pre-request refreshes failed
+
+	// Per-outcome request-latency histograms (§3.6.1's selection
+	// quality, made measurable): every Answer lands in exactly one.
+	latAnswered *obs.Histogram // full server list returned
+	latPartial  *obs.Histogram // short list accepted under OptPartialOK
+	latStale    *obs.Histogram // rejected with stale records dropped
+	latParse    *obs.Histogram // requirement did not parse / unknown template
+	latRejected *obs.Histogram // any other error reply
 
 	varMu     sync.Mutex
 	varCounts map[string]uint64
@@ -128,10 +143,18 @@ func New(cfg Config) (*Wizard, error) {
 		size = 0 // caching disabled
 	}
 	w := &Wizard{
-		cfg:       cfg,
-		conn:      conn,
-		cache:     reqlang.NewCache(size),
-		varCounts: make(map[string]uint64),
+		cfg:         cfg,
+		conn:        conn,
+		cache:       reqlang.NewCacheObs(size, cfg.Obs),
+		handled:     cfg.Obs.Counter("wizard_requests"),
+		rejected:    cfg.Obs.Counter("wizard_rejected"),
+		updateFail:  cfg.Obs.Counter("wizard_update_failures"),
+		latAnswered: cfg.Obs.Histogram("wizard_latency_answered", obs.LatencyBuckets),
+		latPartial:  cfg.Obs.Histogram("wizard_latency_partial", obs.LatencyBuckets),
+		latStale:    cfg.Obs.Histogram("wizard_latency_stale_dropped", obs.LatencyBuckets),
+		latParse:    cfg.Obs.Histogram("wizard_latency_parse_error", obs.LatencyBuckets),
+		latRejected: cfg.Obs.Histogram("wizard_latency_rejected", obs.LatencyBuckets),
+		varCounts:   make(map[string]uint64),
 	}
 	w.templates.Store(&cfg.Templates)
 	return w, nil
@@ -141,16 +164,34 @@ func New(cfg Config) (*Wizard, error) {
 func (w *Wizard) Addr() string { return w.conn.LocalAddr().String() }
 
 // Handled reports the number of requests answered.
-func (w *Wizard) Handled() uint64 { return w.handled.Load() }
+func (w *Wizard) Handled() uint64 { return w.handled.Value() }
 
 // Rejected reports the number of requests answered with an error.
-func (w *Wizard) Rejected() uint64 { return w.rejected.Load() }
+func (w *Wizard) Rejected() uint64 { return w.rejected.Value() }
 
 // UpdateFailures reports how many pre-request database refreshes have
 // failed. The wizard still answers from the data it has ("stale data
 // beats no answer"), so this counter is the only visible trace of a
 // flapping transmitter link — dashboards and chaos tests watch it.
-func (w *Wizard) UpdateFailures() uint64 { return w.updateFail.Load() }
+func (w *Wizard) UpdateFailures() uint64 { return w.updateFail.Value() }
+
+// Stats is one coherent reading of the wizard's request counters.
+type Stats struct {
+	Handled, Rejected, UpdateFailures uint64
+}
+
+// Stats snapshots the counters with the invariant Rejected ≤ Handled
+// guaranteed even against concurrent handlers. Reading the accessors
+// one by one cannot promise that: a handler may land between the two
+// loads in either order. Here rejected is read first; every rejected
+// increment is sequenced after its request's handled increment, so
+// any rejection this read observes has its request already counted in
+// the later handled load.
+func (w *Wizard) Stats() Stats {
+	rej := w.rejected.Value()
+	uf := w.updateFail.Value()
+	return Stats{Handled: w.handled.Value(), Rejected: rej, UpdateFailures: uf}
+}
 
 // CacheStats reports the compiled-requirement cache's cumulative hit
 // and miss counts.
@@ -246,10 +287,20 @@ func (w *Wizard) handle(ctx context.Context, datagram []byte) *proto.Reply {
 	return reply
 }
 
-// Answer runs the full matching pipeline for one request. It is
-// exported so in-process deployments (and tests) can bypass UDP; it
-// is safe to call from any number of goroutines.
+// Answer runs the full matching pipeline for one request and records
+// its latency under the outcome it produced. It is exported so
+// in-process deployments (and tests) can bypass UDP; it is safe to
+// call from any number of goroutines.
 func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
+	start := time.Now()
+	reply, lat := w.answer(ctx, req)
+	lat.Observe(int64(time.Since(start)))
+	return reply
+}
+
+// answer is the pipeline body; it reports which latency histogram the
+// request's outcome belongs to so Answer can time the whole thing.
+func (w *Wizard) answer(ctx context.Context, req *proto.Request) (*proto.Reply, *obs.Histogram) {
 	reply := &proto.Reply{Seq: req.Seq}
 	fail := func(format string, args ...any) *proto.Reply {
 		reply.Err = sanitize(fmt.Sprintf(format, args...))
@@ -260,13 +311,13 @@ func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
 	if req.Option&proto.OptTemplate != 0 {
 		tpl, ok := (*w.templates.Load())[detail]
 		if !ok {
-			return fail("unknown requirement template %q", detail)
+			return fail("unknown requirement template %q", detail), w.latParse
 		}
 		detail = tpl
 	}
 	prog, err := w.cache.Get(detail)
 	if err != nil {
-		return fail("parse requirement: %v", err)
+		return fail("parse requirement: %v", err), w.latParse
 	}
 	w.recordVars(prog.FreeVars())
 	if w.cfg.Update != nil {
@@ -279,10 +330,19 @@ func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
 	}
 	res, err := w.cfg.Selector.Select(prog, int(req.ServerNum), req.Option)
 	if err != nil {
-		return fail("%v", err)
+		if res.StaleDropped > 0 {
+			// The shortfall came (at least partly) from records dropped
+			// as stale — the signature of a silent probe fleet, kept
+			// apart from ordinary "nothing qualifies" rejections.
+			return fail("%v", err), w.latStale
+		}
+		return fail("%v", err), w.latRejected
 	}
 	reply.Servers = res.Servers
-	return reply
+	if res.Shortfall > 0 {
+		return reply, w.latPartial
+	}
+	return reply, w.latAnswered
 }
 
 // sanitize strips newlines so error text survives the reply format.

@@ -113,4 +113,7 @@ with open("BENCH_transport.json", "w") as f:
 print("wrote BENCH_transport.json")
 EOF
 
-python3 scripts/bench_schema.py BENCH_wizard.json BENCH_transport.json
+echo "== obs debug-endpoint smoke =="
+python3 scripts/obs_smoke.py
+
+python3 scripts/bench_schema.py BENCH_wizard.json BENCH_transport.json BENCH_obs.json

@@ -44,17 +44,77 @@ SCHEMAS = {
     },
 }
 
+# BENCH_obs.json is an obs.Registry snapshot captured by
+# scripts/obs_smoke.py off a live wizardd -debug endpoint; its shape
+# is the registry's JSON contract rather than a benchmark table.
+OBS_SCHEMA = {
+    "counters": [
+        "wizard_requests",
+        "wizard_rejected",
+        "wizard_update_failures",
+        "reqlang_cache_hits",
+        "reqlang_cache_misses",
+        "core_selections",
+        "core_memo_hits",
+        "core_stale_dropped",
+        "transport_recv_frames",
+        "transport_recv_torn",
+        "transport_recv_resyncs",
+        "transport_recv_unknown_frames",
+    ],
+    "gauges": [
+        "store_wizard_ver",
+        "store_wizard_sys_epoch",
+        "store_wizard_sys_records",
+        "store_wizard_net_records",
+        "store_wizard_sec_records",
+    ],
+    "histograms": [
+        "transport_epoch_catchup",
+        "wizard_latency_answered",
+        "wizard_latency_partial",
+        "wizard_latency_stale_dropped",
+        "wizard_latency_parse_error",
+        "wizard_latency_rejected",
+    ],
+}
+
+
+def check_obs(name, doc):
+    errs = []
+    for section, required in OBS_SCHEMA.items():
+        table = doc.get(section)
+        if not isinstance(table, dict):
+            errs.append(f"{name}: missing section {section!r}")
+            continue
+        for key in required:
+            if key not in table:
+                errs.append(f"{name}: {section} lacks {key!r}")
+    for hname, h in doc.get("histograms", {}).items():
+        for field in ("bounds", "counts", "sum", "count"):
+            if field not in h:
+                errs.append(f"{name}: histogram {hname} lacks {field!r}")
+        bounds, counts = h.get("bounds"), h.get("counts")
+        if (isinstance(bounds, list) and isinstance(counts, list)
+                and len(counts) != len(bounds) + 1):
+            errs.append(
+                f"{name}: histogram {hname} has {len(counts)} counts for"
+                f" {len(bounds)} bounds (want bounds+1, the overflow bucket)")
+    return errs
+
 
 def check(path):
     name = path.rsplit("/", 1)[-1]
-    schema = SCHEMAS.get(name)
-    if schema is None:
-        return [f"{path}: no schema registered (add one to bench_schema.py)"]
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
         return [f"{path}: {e}"]
+    if name == "BENCH_obs.json":
+        return check_obs(name, doc)
+    schema = SCHEMAS.get(name)
+    if schema is None:
+        return [f"{path}: no schema registered (add one to bench_schema.py)"]
     errs = []
     for section in schema["sections"]:
         if section not in doc:
@@ -74,7 +134,7 @@ def check(path):
 
 
 def main():
-    files = sys.argv[1:] or list(SCHEMAS)
+    files = sys.argv[1:] or list(SCHEMAS) + ["BENCH_obs.json"]
     errors = []
     for path in files:
         errors += check(path)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the -debug observability endpoint.
+
+Builds wizardd, runs it with -debug on a free port, drives one real
+request through cmd/smartreq, then reads both endpoint formats back:
+/metrics must serve the sorted plaintext dump and /metrics.json a
+snapshot whose counters prove the request actually flowed through the
+instrumented pipeline (wizard_requests >= 1). The JSON snapshot is
+written to BENCH_obs.json at the repository root, where
+bench_schema.py guards its shape alongside the benchmark files.
+
+Usage: scripts/obs_smoke.py
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def free_port():
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def fetch(url, timeout=2.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode()
+
+
+def wait_http(url, deadline=10.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            return fetch(url)
+        except OSError:
+            time.sleep(0.1)
+    raise SystemExit(f"obs_smoke: {url} never came up")
+
+
+def main():
+    os.chdir(ROOT)
+    listen, recv, debug = free_port(), free_port(), free_port()
+    with tempfile.TemporaryDirectory() as tmp:
+        wizardd = os.path.join(tmp, "wizardd")
+        subprocess.run(["go", "build", "-o", wizardd, "./cmd/wizardd"], check=True)
+        proc = subprocess.Popen(
+            [
+                wizardd,
+                "-listen", f"127.0.0.1:{listen}",
+                "-receiver-listen", f"127.0.0.1:{recv}",
+                "-debug", f"127.0.0.1:{debug}",
+            ],
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            wait_http(f"http://127.0.0.1:{debug}/metrics")
+
+            # One real request over UDP. The database is empty, so a
+            # partial-OK request legitimately returns zero servers —
+            # the smoke only needs the request to be handled, and
+            # smartreq exits non-zero on an empty reply, so the exit
+            # status is deliberately not checked.
+            subprocess.run(
+                [
+                    "go", "run", "./cmd/smartreq",
+                    "-wizard", f"127.0.0.1:{listen}",
+                    "-req", "host_memory_total > 0\n",
+                    "-partial", "-timeout", "5s",
+                ],
+                check=False,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+
+            text = fetch(f"http://127.0.0.1:{debug}/metrics")
+            snap = json.loads(fetch(f"http://127.0.0.1:{debug}/metrics.json"))
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    errs = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snap.get(section), dict):
+            errs.append(f"snapshot lacks a {section!r} object")
+    if snap.get("counters", {}).get("wizard_requests", 0) < 1:
+        errs.append(f"wizard_requests = {snap.get('counters', {}).get('wizard_requests')!r},"
+                    " the smoke request never reached the wizard")
+    if "store_wizard_ver" not in snap.get("gauges", {}):
+        errs.append("store_wizard_ver gauge missing: the replica is not registered")
+    hists = snap.get("histograms", {})
+    lat = [n for n in hists if n.startswith("wizard_latency_")]
+    if not lat:
+        errs.append("no wizard_latency_* histogram in the snapshot")
+    elif sum(hists[n].get("count", 0) for n in lat) < 1:
+        errs.append("latency histograms observed nothing for the smoke request")
+    for name in snap.get("counters", {}):
+        if f"\n{name} " not in "\n" + text:
+            errs.append(f"counter {name} absent from the plaintext dump")
+    for e in errs:
+        print("obs_smoke:", e, file=sys.stderr)
+    if errs:
+        sys.exit(1)
+
+    with open("BENCH_obs.json", "w") as f:
+        json.dump(snap, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"obs_smoke: ok ({len(snap['counters'])} counters,"
+          f" {len(snap['gauges'])} gauges, {len(snap['histograms'])} histograms);"
+          " wrote BENCH_obs.json")
+
+
+if __name__ == "__main__":
+    main()
