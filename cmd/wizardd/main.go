@@ -42,7 +42,8 @@ func main() {
 		tplFile     = flag.String("templates", "", "requirement template file ([name] sections, §3.6.1)")
 		workers     = flag.Int("workers", 1, "concurrent request handlers; 1 is the thesis-faithful sequential mode")
 		cacheSize   = flag.Int("cache-size", 0, "compiled-requirement cache entries (0: default, <0: disable)")
-		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, full-snapshot transport")
+		planAt      = flag.Int("plan-threshold", 0, "table size where the indexed selection planner takes over (0: default, <0: always full-scan)")
+		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, full-snapshot transport, no selection planner")
 		debugAddr   = flag.String("debug", "", "HTTP metrics endpoint address, e.g. 127.0.0.1:6060 (empty: disabled)")
 		pulls       addrList
 	)
@@ -101,11 +102,17 @@ func main() {
 	if len(groups) > 0 {
 		groupOf = func(h string) string { return groups[h] }
 	}
+	if *compat {
+		// The selection half of -compat: the thesis wizard walks the
+		// whole table on every request, so the planner stays off.
+		*planAt = -1
+	}
 	sel, err := core.New(db, core.Config{
-		LocalMonitor: *localMon,
-		GroupOf:      groupOf,
-		ServicePort:  *servicePort,
-		Obs:          reg,
+		LocalMonitor:  *localMon,
+		GroupOf:       groupOf,
+		ServicePort:   *servicePort,
+		PlanThreshold: *planAt,
+		Obs:           reg,
 	})
 	if err != nil {
 		logger.Fatal(err)

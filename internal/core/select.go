@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"smartsock/internal/index"
 	"smartsock/internal/obs"
 	"smartsock/internal/proto"
 	"smartsock/internal/reqlang"
@@ -43,9 +44,26 @@ type Config struct {
 	// its record. Zero disables the filter (historical behaviour).
 	MaxStatusAge time.Duration
 	// Obs, when set, registers the selector's cumulative counters
-	// (core_selections, core_memo_hits, core_stale_dropped); nil
-	// detaches them.
+	// (core_selections, core_memo_hits, core_stale_dropped, the
+	// index_* planner metrics); nil detaches them.
 	Obs *obs.Registry
+	// PlanThreshold is the live-record count at which Select consults
+	// the selection planner instead of scanning every record. Zero
+	// means DefaultPlanThreshold; negative disables the planner
+	// entirely (the -compat wire mode pins this, preserving the thesis
+	// behaviour byte for byte). Below the threshold — and for any
+	// requirement the planner cannot resolve — the historical full
+	// scan runs and Decisions cover every live server. At or above it,
+	// index-resolvable requirements run under plan semantics:
+	// constraint-failing records are pruned without individual
+	// Decisions (counted in Result.Pruned) and only surviving
+	// candidates are evaluated.
+	PlanThreshold int
+	// ForceScan makes planned selections test their extracted
+	// constraints record by record instead of querying the index. The
+	// Result is identical; differential tests pin it to compare the
+	// index path against ground truth.
+	ForceScan bool
 }
 
 // Decision records why one server was accepted or rejected — the
@@ -76,6 +94,10 @@ type Result struct {
 	// StaleDropped counts server records skipped for exceeding
 	// Config.MaxStatusAge, before any requirement was evaluated.
 	StaleDropped int
+	// Pruned counts records the selection planner excluded through
+	// index constraints without evaluating them (and without
+	// Decisions). Always zero on the full-scan path.
+	Pruned int
 	// Epoch is the status-snapshot version the selection ran against;
 	// two selections with equal epochs saw identical server tables.
 	Epoch uint64
@@ -91,10 +113,17 @@ type Selector struct {
 	portSuffix string
 	envPool    sync.Pool // of *reqlang.Env with a reusable Params map
 	memo       selMemo
+	idx        *index.Set
+	plans      planCache
 
-	selections   *obs.Counter // core_selections: Select calls
-	memoHits     *obs.Counter // core_memo_hits: served from the epoch memo
-	staleDropped *obs.Counter // core_stale_dropped: records skipped as stale
+	selections     *obs.Counter // core_selections: Select calls
+	memoHits       *obs.Counter // core_memo_hits: served from the epoch memo
+	staleDropped   *obs.Counter // core_stale_dropped: records skipped as stale
+	recordEvals    *obs.Counter // core_record_evals: requirement evaluations
+	indexPlans     *obs.Counter // index_plans: selections run under plan semantics
+	indexFallbacks *obs.Counter // index_fallbacks: planned selections served by constraint scan
+	rowsPruned     *obs.Counter // index_rows_pruned: records excluded without evaluation
+	residualEvals  *obs.Counter // index_residual_evals: survivors evaluated on the plan path
 }
 
 // memoKey identifies one selection question. Programs come from the
@@ -155,11 +184,17 @@ func New(db *store.DB, cfg Config) (*Selector, error) {
 		return nil, fmt.Errorf("core: nil database")
 	}
 	s := &Selector{
-		cfg:          cfg,
-		db:           db,
-		selections:   cfg.Obs.Counter("core_selections"),
-		memoHits:     cfg.Obs.Counter("core_memo_hits"),
-		staleDropped: cfg.Obs.Counter("core_stale_dropped"),
+		cfg:            cfg,
+		db:             db,
+		idx:            index.New(db, cfg.Obs),
+		selections:     cfg.Obs.Counter("core_selections"),
+		memoHits:       cfg.Obs.Counter("core_memo_hits"),
+		staleDropped:   cfg.Obs.Counter("core_stale_dropped"),
+		recordEvals:    cfg.Obs.Counter("core_record_evals"),
+		indexPlans:     cfg.Obs.Counter("index_plans"),
+		indexFallbacks: cfg.Obs.Counter("index_fallbacks"),
+		rowsPruned:     cfg.Obs.Counter("index_rows_pruned"),
+		residualEvals:  cfg.Obs.Counter("index_residual_evals"),
 	}
 	if cfg.ServicePort > 0 {
 		s.portSuffix = ":" + strconv.Itoa(cfg.ServicePort)
@@ -232,52 +267,40 @@ func (s *Selector) Select(prog *reqlang.Program, n int, opt proto.Option) (Resul
 	env := s.envPool.Get().(*reqlang.Env)
 	defer s.envPool.Put(env)
 
-	result := Result{Decisions: make([]Decision, 0, len(recs)), Epoch: snap.Epoch}
-
-	type scored struct {
-		addr      string
-		preferred int // index in the preferred list, -1 if not
-		score     float64
-		hasScore  bool
-		order     int
+	ctx := selCtx{
+		prog:        prog,
+		snap:        snap,
+		cutoff:      cutoff,
+		filterStale: filterStale,
+		env:         env,
+		mentioned:   mentioned,
+		needNet:     needNet,
+		needSec:     needSec,
+		netMemo:     netMemo,
 	}
+
+	// Consult the planner only past the threshold: small tables scan
+	// faster than they index, and keep the thesis' full per-server
+	// Decisions.
+	threshold := s.cfg.PlanThreshold
+	if threshold == 0 {
+		threshold = DefaultPlanThreshold
+	}
+	var pe *planEntry
+	if threshold > 0 && len(recs) >= threshold {
+		if e := s.planFor(prog); e.plan != nil {
+			pe = e
+		}
+	}
+
+	var result Result
 	var candidates []scored
-
-	for i := range recs {
-		rec := &recs[i]
-		if filterStale && rec.UpdatedAt.Before(cutoff) {
-			result.StaleDropped++
-			continue
-		}
-		host := rec.Status.Host
-		s.fillEnv(env, rec, mentioned, needNet, needSec, netMemo)
-		res := prog.Eval(env)
-		d := Decision{
-			Host:       host,
-			Qualified:  res.Qualified,
-			FailedLine: res.FailedLine,
-			Score:      res.Score,
-			HasScore:   res.HasScore,
-			Err:        res.Err,
-		}
-		if denyIdx := matchHost(host, res.Denied); denyIdx >= 0 {
-			d.Denied = true
-			d.Qualified = false
-		}
-		prefIdx := matchHost(host, res.Preferred)
-		d.Preferred = prefIdx >= 0
-		result.Decisions = append(result.Decisions, d)
-		if !d.Qualified {
-			continue
-		}
-		candidates = append(candidates, scored{
-			addr:      s.dialAddr(host),
-			preferred: prefIdx,
-			score:     res.Score,
-			hasScore:  res.HasScore,
-			order:     i,
-		})
+	if pe != nil {
+		result, candidates = s.plannedSelect(&ctx, pe)
+	} else {
+		result, candidates = s.fullScan(&ctx)
 	}
+	result.Epoch = snap.Epoch
 
 	sort.SliceStable(candidates, func(i, j int) bool {
 		a, b := candidates[i], candidates[j]
@@ -314,6 +337,69 @@ func (s *Selector) Select(prog *reqlang.Program, n int, opt proto.Option) (Resul
 		s.memo.put(snap.Epoch, key, memoVal{res: result, err: selErr})
 	}
 	return result, selErr
+}
+
+// scored is one qualified candidate awaiting the preference/rank
+// sort.
+type scored struct {
+	addr      string
+	preferred int // index in the preferred list, -1 if not
+	score     float64
+	hasScore  bool
+	order     int // snapshot position, the first-found tiebreak
+}
+
+// fullScan is the historical selection loop: every fresh record gets
+// a full evaluation and a Decision.
+func (s *Selector) fullScan(ctx *selCtx) (Result, []scored) {
+	recs := ctx.snap.Records
+	result := Result{Decisions: make([]Decision, 0, len(recs))}
+	var candidates []scored
+	//lint:ignore scanfree the pre-planner baseline loop for small tables and non-index-resolvable requirements
+	for i := range recs {
+		rec := &recs[i]
+		if ctx.filterStale && rec.UpdatedAt.Before(ctx.cutoff) {
+			result.StaleDropped++
+			continue
+		}
+		candidates = s.evalRecord(ctx, 0, rec, i, &result, candidates)
+	}
+	return result, candidates
+}
+
+// evalRecord evaluates one record from statement index from onward
+// (0 = the whole program), records its Decision, and appends it to
+// the candidate list when it qualifies.
+func (s *Selector) evalRecord(ctx *selCtx, from int, rec *store.SysRecord, order int, result *Result, candidates []scored) []scored {
+	host := rec.Status.Host
+	s.fillEnv(ctx.env, rec, ctx.mentioned, ctx.needNet, ctx.needSec, ctx.netMemo)
+	s.recordEvals.Add(1)
+	res := ctx.prog.EvalFrom(ctx.env, from)
+	d := Decision{
+		Host:       host,
+		Qualified:  res.Qualified,
+		FailedLine: res.FailedLine,
+		Score:      res.Score,
+		HasScore:   res.HasScore,
+		Err:        res.Err,
+	}
+	if denyIdx := matchHost(host, res.Denied); denyIdx >= 0 {
+		d.Denied = true
+		d.Qualified = false
+	}
+	prefIdx := matchHost(host, res.Preferred)
+	d.Preferred = prefIdx >= 0
+	result.Decisions = append(result.Decisions, d)
+	if !d.Qualified {
+		return candidates
+	}
+	return append(candidates, scored{
+		addr:      s.dialAddr(host),
+		preferred: prefIdx,
+		score:     res.Score,
+		hasScore:  res.HasScore,
+		order:     order,
+	})
 }
 
 // fillEnv rebinds the pooled environment for one candidate server:

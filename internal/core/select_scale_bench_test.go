@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartsock/internal/proto"
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+)
+
+// BenchmarkSelectScale measures what the selection planner buys at
+// fleet scale: the same requirement against the same table, answered
+// by the historical full scan (PlanThreshold -1) and by the indexed
+// planner. Three requirement shapes cover the planner's regimes:
+//
+//   - selective: ~0.5% of hosts pass the indexed prefix, the planner's
+//     best case — candidate generation touches only the sorted range;
+//   - broad: ~80% pass, the worst indexable case — pruning saves
+//     little, the index must not cost much;
+//   - unindexable: the leading statement defeats extraction
+//     (arithmetic operand), so the planner immediately falls back to
+//     the historical scan; its overhead must stay in the noise.
+//
+// The per-iteration "evals/op" metric counts requirement evaluations
+// through the selector's core_record_evals counter: the acceptance bar
+// is a ≥100× reduction for the selective case at 100k hosts.
+func BenchmarkSelectScale(b *testing.B) {
+	sizes := []struct {
+		name string
+		n    int
+	}{
+		{"10k", 10_000},
+		{"100k", 100_000},
+		{"1m", 1_000_000},
+	}
+	shapes := []struct {
+		name string
+		req  string
+	}{
+		{"selective", "host_cpu_free > 0.995\nhost_memory_free > 1\nhost_cpu_free * 100\n"},
+		{"broad", "host_cpu_free > 0.2\nhost_cpu_free * 100\n"},
+		{"unindexable", "host_cpu_free + 0 > 0.995\nhost_cpu_free * 100\n"},
+	}
+	modes := []struct {
+		name      string
+		threshold int
+	}{
+		{"scan", -1},
+		{"plan", 1},
+	}
+	for _, size := range sizes {
+		for _, shape := range shapes {
+			for _, mode := range modes {
+				name := fmt.Sprintf("%s/%s/%s", size.name, shape.name, mode.name)
+				b.Run(name, func(b *testing.B) {
+					db := scaleDB(b, size.n)
+					sel := newSelector(b, db, Config{
+						// A freshness cutoff keeps every iteration impure so
+						// the epoch memo never shortcuts the measurement.
+						MaxStatusAge:  24 * time.Hour,
+						PlanThreshold: mode.threshold,
+						ServicePort:   9000,
+					})
+					prog := mustProg(b, shape.req)
+					// Warm up: compiles the plan and builds the index
+					// columns once, off the measured path (steady-state
+					// requests find both ready).
+					if _, err := sel.Select(prog, 8, proto.OptPartialOK|proto.OptRankByExpr); err != nil {
+						b.Fatal(err)
+					}
+					evalsBefore := sel.recordEvals.Value()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := sel.Select(prog, 8, proto.OptPartialOK|proto.OptRankByExpr); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					evals := sel.recordEvals.Value() - evalsBefore
+					b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+				})
+			}
+		}
+	}
+}
+
+// scaleDBs caches one populated database per size: filling a
+// million-host table dominates any measured interval, so benchmarks
+// share it. Content is deterministic in the size.
+var scaleDBs = map[int]*store.DB{}
+
+func scaleDB(b *testing.B, n int) *store.DB {
+	if db, ok := scaleDBs[n]; ok {
+		return db
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	recs := make([]status.ServerStatus, n)
+	for i := range recs {
+		recs[i] = status.ServerStatus{
+			Host:     fmt.Sprintf("fleet-%07d", i),
+			Load1:    rng.Float64() * 8,
+			CPUIdle:  rng.Float64(),
+			Bogomips: 1000 + rng.Float64()*5000,
+			MemTotal: 1 << 30,
+			MemFree:  uint64(1+rng.Intn(512)) << 20,
+		}
+	}
+	db := store.New()
+	db.Load(recs, nil, nil)
+	db.SysView() // materialise the snapshot outside any timed region
+	scaleDBs[n] = db
+	return db
+}

@@ -1,0 +1,63 @@
+// Package index maintains per-field ordered indexes and bitset
+// candidate sets over the status database, fed incrementally from
+// store.ChangedSince deltas. The wizard's selection planner
+// intersects a requirement's range constraints against these indexes
+// to evaluate only the handful of servers that can possibly qualify,
+// instead of scanning the whole table per request.
+package index
+
+import "math/bits"
+
+// Bits is a dense bitset over host ids.
+type Bits []uint64
+
+// grow returns b extended to hold at least n bits.
+func (b Bits) grow(n int) Bits {
+	words := (n + 63) / 64
+	for len(b) < words {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// Set sets bit i; the set must already be large enough.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i if it is within range.
+func (b Bits) Clear(i int) {
+	if w := i >> 6; w < len(b) {
+		b[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Test reports bit i, treating out-of-range as unset.
+func (b Bits) Test(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset clears every bit, keeping capacity.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b Bits) ForEach(fn func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

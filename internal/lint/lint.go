@@ -27,7 +27,12 @@
 //   - batchbuf: no allocating status.Marshal*Batch call inside a loop
 //     in internal/transport — the per-epoch encode path must reuse a
 //     buffer via status.Append*Batch so steady-state pushes allocate
-//     nothing.
+//     nothing;
+//   - scanfree: no range over sys-record tables ([]store.SysRecord)
+//     in internal/core or internal/wizard non-test code — per-request
+//     selection goes through the index planner, and the sanctioned
+//     scans (planner fallback, pre-planner baseline) must justify
+//     themselves with a //lint:ignore rationale.
 //
 // The analyzers above are syntactic: each looks at one function at a
 // time and matches call shapes. The flow-sensitive suite — wiretaint,
@@ -154,7 +159,7 @@ func Register(as ...*Analyzer) {
 // Analyzers returns the full suite in reporting order: the built-in
 // syntactic analyzers followed by registered flow analyzers.
 func Analyzers() []*Analyzer {
-	base := []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache, BatchBuf}
+	base := []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache, BatchBuf, ScanFree}
 	return append(base, registered...)
 }
 

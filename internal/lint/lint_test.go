@@ -97,6 +97,17 @@ func AppendNetBatch(dst []byte, recs []NetMetric) []byte { return dst }
 func MarshalSecBatch(recs []SecLevel) []byte { return nil }
 func AppendSecBatch(dst []byte, recs []SecLevel) []byte { return dst }
 `,
+	"smartsock/internal/store": `package store
+import "smartsock/internal/status"
+type SysRecord struct{ Status status.ServerStatus }
+type SysSnapshot struct {
+	Epoch   uint64
+	Records []SysRecord
+}
+type DB struct{}
+func (db *DB) SysView() *SysSnapshot { return &SysSnapshot{} }
+func (db *DB) Sys() []SysRecord { return nil }
+`,
 	"smartsock/internal/reqlang": `package reqlang
 type Program struct{ src string }
 func Parse(src string) (*Program, error) { return &Program{src: src}, nil }
@@ -576,6 +587,105 @@ func spam(recs []status.ServerStatus, out chan []byte) {
 `,
 			want: nil,
 		},
+		// ---- scanfree --------------------------------------------------
+		{
+			name:     "scanfree/range over snapshot records on the serve path",
+			analyzer: "scanfree",
+			pkgPath:  "smartsock/internal/core",
+			src: `package core
+import "smartsock/internal/store"
+func selectAll(snap *store.SysSnapshot) int {
+	n := 0
+	for i := range snap.Records {
+		_ = i
+		n++
+	}
+	return n
+}
+`,
+			want: []int{5},
+		},
+		{
+			name:     "scanfree/full-table accessor in the wizard counts too",
+			analyzer: "scanfree",
+			pkgPath:  "smartsock/internal/wizard",
+			src: `package wizard
+import "smartsock/internal/store"
+func hosts(db *store.DB) []string {
+	var out []string
+	for _, rec := range db.Sys() {
+		out = append(out, rec.Status.Host)
+	}
+	return out
+}
+`,
+			want: []int{5},
+		},
+		{
+			name:     "scanfree/ignore directive with rationale suppresses",
+			analyzer: "scanfree",
+			pkgPath:  "smartsock/internal/core",
+			src: `package core
+import "smartsock/internal/store"
+func fallback(snap *store.SysSnapshot) int {
+	n := 0
+	//lint:ignore scanfree sanctioned fallback for this fixture
+	for i := range snap.Records {
+		_ = i
+		n++
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "scanfree/packages off the serve path may scan",
+			analyzer: "scanfree",
+			pkgPath:  "smartsock/internal/transport",
+			src: `package transport
+import "smartsock/internal/store"
+func sweep(snap *store.SysSnapshot) {
+	for i := range snap.Records {
+		_ = i
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "scanfree/test files are exempt",
+			analyzer: "scanfree",
+			pkgPath:  "smartsock/internal/core",
+			filename: "fixture_test.go",
+			src: `package core
+import "smartsock/internal/store"
+func scanForAssertions(snap *store.SysSnapshot) int {
+	n := 0
+	for i := range snap.Records {
+		_ = i
+		n++
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "scanfree/other slice types are untouched",
+			analyzer: "scanfree",
+			pkgPath:  "smartsock/internal/core",
+			src: `package core
+func join(hosts []string) int {
+	n := 0
+	for range hosts {
+		n++
+	}
+	return n
+}
+`,
+			want: nil,
+		},
 	}
 
 	for _, tc := range cases {
@@ -644,7 +754,7 @@ func b() {}
 // updating README.md's correctness-tooling section too.
 func TestSuiteNames(t *testing.T) {
 	want := []string{
-		"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache", "batchbuf",
+		"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache", "batchbuf", "scanfree",
 		"wiretaint", "framecase", "lockorder", "leakygo",
 	}
 	as := lint.Analyzers()

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// scanFreeScope lists the packages on the wizard's request serve path.
+// With the selection planner in place, a range over a sys-table
+// snapshot there reintroduces the O(table) cost per request that the
+// per-field indexes exist to kill. The two sanctioned scan loops — the
+// pre-planner baseline in Select's fullScan and the planner's
+// constraint-testing fallback — carry //lint:ignore directives with
+// their rationale; any new one must justify itself the same way.
+var scanFreeScope = map[string]bool{
+	"smartsock/internal/core":   true,
+	"smartsock/internal/wizard": true,
+}
+
+// isSysRecordSlice reports whether t is []store.SysRecord, the element
+// type of a SysSnapshot's Records and of every full-table accessor.
+func isSysRecordSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := s.Elem()
+	if ptr, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = ptr.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "SysRecord" && obj.Pkg() != nil && obj.Pkg().Path() == "smartsock/internal/store"
+}
+
+// ScanFree reports full-table iteration over sys-record slices on the
+// wizard/core serve path.
+var ScanFree = &Analyzer{
+	Name: "scanfree",
+	Doc:  "serve-path code must not range over sys-table snapshots; selection goes through the index planner, and sanctioned scans (planner fallback, pre-planner baseline) need a //lint:ignore rationale",
+	Run: func(pass *Pass) {
+		if !scanFreeScope[pass.Pkg.Path] {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if IsTestFile(pass.Pkg.Fset, rng.Pos()) {
+					return true
+				}
+				if isSysRecordSlice(pass.Pkg.Info.TypeOf(rng.X)) {
+					pass.Reportf(rng.Pos(), "range over a sys-record table on the serve path; query the selection planner's index instead, or justify the scan with //lint:ignore scanfree <reason>")
+				}
+				return true
+			})
+		}
+	},
+}

@@ -129,12 +129,24 @@ func (st *evalState) release() {
 // statement must be true for the server to qualify; assignments to
 // user-side parameters record denied/preferred hosts; temporary
 // variables persist across lines within one evaluation.
-func (p *Program) Eval(env *Env) Result {
+func (p *Program) Eval(env *Env) Result { return p.EvalFrom(env, 0) }
+
+// EvalFrom evaluates the program starting at statement index from,
+// with identical semantics to Eval for the statements it runs. The
+// selection planner uses it for residual evaluation: when the index
+// has already proved a candidate's first `from` statements true —
+// they were pure conjunctions of satisfied constraints, with no
+// assignments, scores or possible hard errors — resuming at the
+// residual yields exactly the full evaluation's Result.
+func (p *Program) EvalFrom(env *Env, from int) Result {
+	if from < 0 {
+		from = 0
+	}
 	st := statePool.Get().(*evalState)
 	st.env = env
 	defer st.release()
 	res := Result{Qualified: true}
-	for i := range p.Stmts {
+	for i := from; i < len(p.Stmts); i++ {
 		stmt := &p.Stmts[i]
 		v, err := st.eval(stmt.Expr)
 		if err != nil {

@@ -1,0 +1,192 @@
+package reqlang
+
+// The planner pass inspects a compiled Program and extracts the
+// leading run of statements that are pure conjunctions of
+// variable-versus-constant comparisons — the shape an ordered index
+// can answer. The wizard's selector intersects those constraints
+// against its per-field indexes to obtain a candidate set, then
+// evaluates only the residual program (EvalFrom) against survivors.
+//
+// Extraction is deliberately conservative: a statement that mixes OR,
+// !=, arithmetic, function calls, assignments or string operands ends
+// the prefix, and a program whose first statement is not extractable
+// yields no plan at all — the selector falls back to the full scan,
+// preserving the Fig 4.2 semantics exactly.
+
+// CmpOp is an extracted comparison operator.
+type CmpOp uint8
+
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "=="
+	}
+	return "?"
+}
+
+// flip mirrors an operator across its operands: `0.5 < x` is `x > 0.5`.
+func (o CmpOp) flip() CmpOp {
+	switch o {
+	case CmpLT:
+		return CmpGT
+	case CmpLE:
+		return CmpGE
+	case CmpGT:
+		return CmpLT
+	case CmpGE:
+		return CmpLE
+	}
+	return o
+}
+
+// Constraint is one extracted predicate: Var Op Val must hold for the
+// statement at Line to evaluate true.
+type Constraint struct {
+	Var  string
+	Op   CmpOp
+	Val  float64
+	Line int
+}
+
+// Plan is the planner's verdict on a Program: the extracted
+// constraints and how many leading statements they fully cover. A
+// candidate satisfying every constraint is exactly a candidate whose
+// first Prefix statements all evaluate true, so the selector may
+// resume evaluation at statement Prefix.
+type Plan struct {
+	Cons   []Constraint
+	Prefix int
+}
+
+// Plan extracts the index-resolvable prefix of the program. The
+// indexable callback says which variables have (or can have) an
+// index; any other variable — user parameters, temporaries, network
+// metrics, unknown names — ends extraction, because the index cannot
+// know its per-host value. Returns nil when no leading statement is
+// extractable.
+func (p *Program) Plan(indexable func(string) bool) *Plan {
+	if indexable == nil {
+		return nil
+	}
+	var cons []Constraint
+	prefix := 0
+	for i := range p.Stmts {
+		stmt := &p.Stmts[i]
+		if !stmt.Logical {
+			break
+		}
+		mark := len(cons)
+		if !extractConj(stmt.Expr, stmt.Line, indexable, &cons) {
+			cons = cons[:mark]
+			break
+		}
+		prefix++
+	}
+	if prefix == 0 || len(cons) == 0 {
+		return nil
+	}
+	return &Plan{Cons: cons, Prefix: prefix}
+}
+
+// extractConj decomposes an and-tree of comparisons, appending one
+// constraint per leaf. Any other node shape fails the statement.
+func extractConj(n node, line int, indexable func(string) bool, out *[]Constraint) bool {
+	n = stripParens(n)
+	b, ok := n.(*binNode)
+	if !ok {
+		return false
+	}
+	switch b.op {
+	case tokAnd:
+		return extractConj(b.l, line, indexable, out) &&
+			extractConj(b.r, line, indexable, out)
+	case tokLT, tokLE, tokGT, tokGE, tokEQ:
+		op := tokenCmp(b.op)
+		if name, ok := compVar(b.l, indexable); ok {
+			if val, ok := litVal(b.r); ok {
+				*out = append(*out, Constraint{Var: name, Op: op, Val: val, Line: line})
+				return true
+			}
+			return false
+		}
+		if val, ok := litVal(b.l); ok {
+			if name, ok := compVar(b.r, indexable); ok {
+				*out = append(*out, Constraint{Var: name, Op: op.flip(), Val: val, Line: line})
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func tokenCmp(k tokenKind) CmpOp {
+	switch k {
+	case tokLT:
+		return CmpLT
+	case tokLE:
+		return CmpLE
+	case tokGT:
+		return CmpGT
+	case tokGE:
+		return CmpGE
+	}
+	return CmpEQ
+}
+
+func stripParens(n node) node {
+	for {
+		p, ok := n.(*parenNode)
+		if !ok {
+			return n
+		}
+		n = p.x
+	}
+}
+
+// compVar accepts a bare indexable variable. User parameters never
+// qualify (they read as strings), nor do the predefined constants
+// (their comparison is host-independent and not worth indexing).
+func compVar(n node, indexable func(string) bool) (string, bool) {
+	v, ok := stripParens(n).(*varNode)
+	if !ok {
+		return "", false
+	}
+	if IsUserParam(v.name) {
+		return "", false
+	}
+	if _, isConst := constants[v.name]; isConst {
+		return "", false
+	}
+	return v.name, indexable(v.name)
+}
+
+// litVal accepts a numeric literal, possibly parenthesized or
+// negated.
+func litVal(n node) (float64, bool) {
+	switch v := stripParens(n).(type) {
+	case *numNode:
+		return v.val, true
+	case *unaryNode:
+		if x, ok := litVal(v.x); ok {
+			return -x, true
+		}
+	}
+	return 0, false
+}

@@ -77,6 +77,30 @@ type SysSnapshot struct {
 // is already a pathological fleet.
 const maxTombstones = 4096
 
+// changeLogCap bounds the in-memory changelog ring. ChangedSince
+// serves a delta by walking only the ring entries newer than the
+// caller's base instead of scanning every record, so its cost tracks
+// the change rate, not the fleet size; a caller whose base has been
+// evicted from the ring falls back to the historical full scan.
+const changeLogCap = 4096
+
+// Changelog table tags.
+const (
+	logSys = iota
+	logNet
+	logSec
+)
+
+// changeEntry records one version-stamping mutation. The key strings
+// alias record-owned (or tombstone-key) strings, so appending an
+// entry never allocates on the steady-state refresh path.
+type changeEntry struct {
+	table uint8
+	ver   uint64
+	key   string // sys/sec host, or net From
+	key2  string // net To
+}
+
 // DB is the full status database shared by the monitors, the
 // transmitter/receiver pair and the wizard.
 type DB struct {
@@ -102,6 +126,21 @@ type DB struct {
 	// by mu held for writing.
 	keyBuf []byte
 
+	// log is the circular changelog ring (see changeLogCap); logStart
+	// indexes its oldest entry and logLen counts the live ones.
+	// logFloor is the version of the newest evicted entry: bases at or
+	// above it can be served from the ring alone. Guarded by mu.
+	log      []changeEntry
+	logStart int
+	logLen   int
+	logFloor uint64
+	// Scratch key sets for the ring-served ChangedSince, reused across
+	// calls so a per-tick delta allocates nothing once capacities
+	// settle. Guarded by mu held for writing.
+	scratchSys map[string]struct{}
+	scratchNet map[status.NetKey]struct{}
+	scratchSec map[string]struct{}
+
 	// epoch counts sys content mutations; guarded by mu.
 	epoch uint64
 	// sysSnap is the current copy-on-write view of sys; nil when a
@@ -125,6 +164,34 @@ func NewWithClock(c Clock) *DB {
 		netTomb: make(map[status.NetKey]uint64),
 		secTomb: make(map[string]uint64),
 	}
+}
+
+// appendLogLocked records one mutation at the current version in the
+// changelog ring, evicting the oldest entry (and raising logFloor)
+// when the ring is full. Callers hold db.mu for writing and must have
+// already advanced db.ver for this mutation.
+func (db *DB) appendLogLocked(table uint8, key, key2 string) {
+	if db.log == nil {
+		db.log = make([]changeEntry, changeLogCap)
+	}
+	e := changeEntry{table: table, ver: db.ver, key: key, key2: key2}
+	if db.logLen == changeLogCap {
+		// Evict the oldest entry: a base below its version can no
+		// longer prove it has seen everything, so the floor rises.
+		db.logFloor = db.log[db.logStart].ver
+		db.log[db.logStart] = e
+		db.logStart = (db.logStart + 1) % changeLogCap
+		return
+	}
+	db.log[(db.logStart+db.logLen)%changeLogCap] = e
+	db.logLen++
+}
+
+// resetLogLocked discards the changelog, as after a whole-section
+// Load: deltas can only resume from the current version.
+func (db *DB) resetLogLocked() {
+	db.logStart, db.logLen = 0, 0
+	db.logFloor = db.ver
 }
 
 func netKey(from, to string) string { return from + "\x00" + to }
@@ -163,8 +230,13 @@ func (db *DB) SysView() *SysSnapshot {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	// Another reader may have rebuilt while we waited for the lock;
-	// writers are excluded here, so a non-nil snapshot is current.
+	return db.sysViewRLocked()
+}
+
+// sysViewRLocked returns the current snapshot, rebuilding it when a
+// mutation invalidated it. Callers hold db.mu at least for reading:
+// writers are excluded, so a non-nil cached snapshot is current.
+func (db *DB) sysViewRLocked() *SysSnapshot {
 	if s := db.sysSnap.Load(); s != nil {
 		return s
 	}
@@ -176,6 +248,23 @@ func (db *DB) SysView() *SysSnapshot {
 	s := &SysSnapshot{Epoch: db.epoch, Records: recs}
 	db.sysSnap.Store(s)
 	return s
+}
+
+// ResyncView returns the sys snapshot, the security table, and the
+// (version, epoch) pair they correspond to, all read under one lock.
+// It is the selection index's rebuild source — the analogue of the
+// transport's full-snapshot resync when a delta base has fallen
+// behind retained history.
+func (db *DB) ResyncView() (snap *SysSnapshot, sec []SecRecord, ver, epoch uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap = db.sysViewRLocked()
+	sec = make([]SecRecord, 0, len(db.sec))
+	for _, r := range db.sec {
+		sec = append(sec, *r)
+	}
+	sort.Slice(sec, func(i, j int) bool { return sec[i].Level.Host < sec[j].Level.Host })
+	return snap, sec, db.ver, db.epoch
 }
 
 // SysEpoch reports the sys table's content-mutation counter.
@@ -211,11 +300,14 @@ func (db *DB) putSysLocked(s status.ServerStatus, now time.Time) bool {
 		db.ver++
 		r.UpdatedAt = now
 		r.RefVer = db.ver
+		db.appendLogLocked(logSys, r.Status.Host, "")
 		return false
 	}
 	db.ver++
-	db.sys[s.Host] = &SysRecord{Status: s, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	r := &SysRecord{Status: s, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	db.sys[s.Host] = r
 	delete(db.sysTomb, s.Host)
+	db.appendLogLocked(logSys, r.Status.Host, "")
 	return true
 }
 
@@ -310,6 +402,7 @@ func (db *DB) ExpireSys(maxAge time.Duration) []string {
 		db.ver++
 		for _, host := range expired {
 			db.sysTomb[host] = db.ver
+			db.appendLogLocked(logSys, host, "")
 		}
 		db.pruneTombsLocked()
 		db.invalidateSysLocked()
@@ -331,11 +424,14 @@ func (db *DB) putNetLocked(m status.NetMetric, now time.Time) {
 		db.ver++
 		r.UpdatedAt = now
 		r.RefVer = db.ver
+		db.appendLogLocked(logNet, r.Metric.From, r.Metric.To)
 		return
 	}
 	db.ver++
-	db.net[k] = &NetRecord{Metric: m, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	r := &NetRecord{Metric: m, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	db.net[k] = r
 	delete(db.netTomb, status.NetKey{From: m.From, To: m.To})
+	db.appendLogLocked(logNet, r.Metric.From, r.Metric.To)
 }
 
 // GetNet returns the metric for one directed monitor pair.
@@ -380,6 +476,7 @@ func (db *DB) ExpireNet(maxAge time.Duration) int {
 				db.ver++
 			}
 			db.netTomb[status.NetKey{From: r.Metric.From, To: r.Metric.To}] = db.ver
+			db.appendLogLocked(logNet, r.Metric.From, r.Metric.To)
 			n++
 		}
 	}
@@ -403,6 +500,7 @@ func (db *DB) ExpireSec(maxAge time.Duration) int {
 				db.ver++
 			}
 			db.secTomb[k] = db.ver
+			db.appendLogLocked(logSec, r.Level.Host, "")
 			n++
 		}
 	}
@@ -424,11 +522,14 @@ func (db *DB) putSecLocked(l status.SecLevel, now time.Time) {
 		db.ver++
 		r.UpdatedAt = now
 		r.RefVer = db.ver
+		db.appendLogLocked(logSec, r.Level.Host, "")
 		return
 	}
 	db.ver++
-	db.sec[l.Host] = &SecRecord{Level: l, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	r := &SecRecord{Level: l, UpdatedAt: now, Ver: db.ver, RefVer: db.ver}
+	db.sec[l.Host] = r
 	delete(db.secTomb, l.Host)
+	db.appendLogLocked(logSec, r.Level.Host, "")
 }
 
 // GetSec returns the security record for one host.
@@ -517,17 +618,110 @@ func (db *DB) SnapshotAt() (sys []status.ServerStatus, net []status.NetMetric, s
 // database, as after a source restart): the mirror could miss a
 // deletion, so it must take a full snapshot instead.
 func (db *DB) ChangedSince(base uint64, sys *status.SysDelta, net *status.NetDelta, sec *status.SecDelta) (ver uint64, ok bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	ver, _, ok = db.ChangedSinceAt(base, sys, net, sec)
+	return ver, ok
+}
+
+// ChangedSinceAt is ChangedSince plus the sys-table epoch the deltas
+// bring a mirror to, read atomically with the version. Incremental
+// consumers keyed by content epoch (the selection index) use the pair
+// to prove their candidate sets match a snapshot.
+//
+// It takes the write lock: when base is recent enough the delta is
+// assembled by walking only the changelog ring entries above base —
+// cost proportional to the change rate — using scratch key sets owned
+// by the database, and only a base older than the ring's floor pays
+// the historical full-table scan.
+func (db *DB) ChangedSinceAt(base uint64, sys *status.SysDelta, net *status.NetDelta, sec *status.SecDelta) (ver, epoch uint64, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if base < db.tombFloor || base > db.ver {
-		return db.ver, false
+		return db.ver, db.epoch, false
 	}
 	sys.Reset(base, db.ver)
 	net.Reset(base, db.ver)
 	sec.Reset(base, db.ver)
 	if base == db.ver {
-		return db.ver, true
+		return db.ver, db.epoch, true
 	}
+	if base >= db.logFloor {
+		db.changedFromLogLocked(base, sys, net, sec)
+	} else {
+		db.changedFromScanLocked(base, sys, net, sec)
+	}
+	sortSysDelta(sys)
+	sortNetDelta(net)
+	sortSecDelta(sec)
+	return db.ver, db.epoch, true
+}
+
+// changedFromLogLocked classifies only the keys the changelog ring
+// proves were stamped after base. A key may appear in several ring
+// entries, so the scratch sets dedupe before the per-key
+// classification, which matches changedFromScanLocked exactly: the
+// live record decides changed-vs-refreshed, a tombstone above base
+// decides deleted.
+func (db *DB) changedFromLogLocked(base uint64, sys *status.SysDelta, net *status.NetDelta, sec *status.SecDelta) {
+	if db.scratchSys == nil {
+		db.scratchSys = make(map[string]struct{})
+		db.scratchNet = make(map[status.NetKey]struct{})
+		db.scratchSec = make(map[string]struct{})
+	}
+	for i := 0; i < db.logLen; i++ {
+		e := &db.log[(db.logStart+i)%changeLogCap]
+		if e.ver <= base {
+			continue
+		}
+		switch e.table {
+		case logSys:
+			db.scratchSys[e.key] = struct{}{}
+		case logNet:
+			db.scratchNet[status.NetKey{From: e.key, To: e.key2}] = struct{}{}
+		case logSec:
+			db.scratchSec[e.key] = struct{}{}
+		}
+	}
+	for host := range db.scratchSys {
+		if r, live := db.sys[host]; live {
+			if r.Ver > base {
+				sys.Changed = append(sys.Changed, r.Status)
+			} else if r.RefVer > base {
+				sys.Refreshed = append(sys.Refreshed, host)
+			}
+		} else if db.sysTomb[host] > base {
+			sys.Deleted = append(sys.Deleted, host)
+		}
+	}
+	for k := range db.scratchNet {
+		if r, live := db.net[netKey(k.From, k.To)]; live {
+			if r.Ver > base {
+				net.Changed = append(net.Changed, r.Metric)
+			} else if r.RefVer > base {
+				net.Refreshed = append(net.Refreshed, k)
+			}
+		} else if db.netTomb[k] > base {
+			net.Deleted = append(net.Deleted, k)
+		}
+	}
+	for host := range db.scratchSec {
+		if r, live := db.sec[host]; live {
+			if r.Ver > base {
+				sec.Changed = append(sec.Changed, r.Level)
+			} else if r.RefVer > base {
+				sec.Refreshed = append(sec.Refreshed, host)
+			}
+		} else if db.secTomb[host] > base {
+			sec.Deleted = append(sec.Deleted, host)
+		}
+	}
+	clear(db.scratchSys)
+	clear(db.scratchNet)
+	clear(db.scratchSec)
+}
+
+// changedFromScanLocked is the historical full-table classification,
+// kept for bases that predate the changelog ring.
+func (db *DB) changedFromScanLocked(base uint64, sys *status.SysDelta, net *status.NetDelta, sec *status.SecDelta) {
 	for host, r := range db.sys {
 		if r.Ver > base {
 			sys.Changed = append(sys.Changed, r.Status)
@@ -564,10 +758,6 @@ func (db *DB) ChangedSince(base uint64, sys *status.SysDelta, net *status.NetDel
 			sec.Deleted = append(sec.Deleted, host)
 		}
 	}
-	sortSysDelta(sys)
-	sortNetDelta(net)
-	sortSecDelta(sec)
-	return db.ver, true
 }
 
 func sortSysDelta(d *status.SysDelta) {
@@ -615,11 +805,26 @@ func (db *DB) ApplySysDelta(changed []status.ServerStatus, deleted, refreshed []
 			mutated = true
 		}
 	}
+	deletedAny := false
 	for _, h := range deleted {
 		if _, ok := db.sys[string(h)]; ok {
 			delete(db.sys, string(h))
+			// Mirror-side deletions get the same version/tombstone
+			// bookkeeping as source-side expiries, so an incremental
+			// consumer of this database (the wizard's selection index)
+			// observes them through ChangedSince too.
+			if !deletedAny {
+				db.ver++
+				deletedAny = true
+			}
+			host := string(h)
+			db.sysTomb[host] = db.ver
+			db.appendLogLocked(logSys, host, "")
 			mutated = true
 		}
+	}
+	if deletedAny {
+		db.pruneTombsLocked()
 	}
 	refreshedAny := false
 	for _, h := range refreshed {
@@ -627,6 +832,7 @@ func (db *DB) ApplySysDelta(changed []status.ServerStatus, deleted, refreshed []
 			db.ver++
 			r.UpdatedAt = now
 			r.RefVer = db.ver
+			db.appendLogLocked(logSys, r.Status.Host, "")
 			refreshedAny = true
 		}
 	}
@@ -645,14 +851,28 @@ func (db *DB) ApplyNetDelta(changed []status.NetMetric, deleted, refreshed []sta
 	for _, m := range changed {
 		db.putNetLocked(m, now)
 	}
+	deletedAny := false
 	for _, k := range deleted {
-		delete(db.net, string(db.netKeyLocked(k.From, k.To)))
+		if _, ok := db.net[string(db.netKeyLocked(k.From, k.To))]; ok {
+			delete(db.net, string(db.netKeyLocked(k.From, k.To)))
+			if !deletedAny {
+				db.ver++
+				deletedAny = true
+			}
+			from, to := string(k.From), string(k.To)
+			db.netTomb[status.NetKey{From: from, To: to}] = db.ver
+			db.appendLogLocked(logNet, from, to)
+		}
+	}
+	if deletedAny {
+		db.pruneTombsLocked()
 	}
 	for _, k := range refreshed {
 		if r, ok := db.net[string(db.netKeyLocked(k.From, k.To))]; ok {
 			db.ver++
 			r.UpdatedAt = now
 			r.RefVer = db.ver
+			db.appendLogLocked(logNet, r.Metric.From, r.Metric.To)
 		}
 	}
 }
@@ -665,14 +885,28 @@ func (db *DB) ApplySecDelta(changed []status.SecLevel, deleted, refreshed [][]by
 	for _, l := range changed {
 		db.putSecLocked(l, now)
 	}
+	deletedAny := false
 	for _, h := range deleted {
-		delete(db.sec, string(h))
+		if _, ok := db.sec[string(h)]; ok {
+			delete(db.sec, string(h))
+			if !deletedAny {
+				db.ver++
+				deletedAny = true
+			}
+			host := string(h)
+			db.secTomb[host] = db.ver
+			db.appendLogLocked(logSec, host, "")
+		}
+	}
+	if deletedAny {
+		db.pruneTombsLocked()
 	}
 	for _, h := range refreshed {
 		if r, ok := db.sec[string(h)]; ok {
 			db.ver++
 			r.UpdatedAt = now
 			r.RefVer = db.ver
+			db.appendLogLocked(logSec, r.Level.Host, "")
 		}
 	}
 }
@@ -746,5 +980,10 @@ func (db *DB) Load(sys []status.ServerStatus, net []status.NetMetric, sec []stat
 		}
 		db.secTomb = make(map[string]uint64)
 		db.tombFloor = db.ver
+	}
+	if sys != nil || net != nil || sec != nil {
+		// The replaced sections' per-record history is gone; like the
+		// tombstone floor, the changelog restarts at this version.
+		db.resetLogLocked()
 	}
 }

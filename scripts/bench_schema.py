@@ -42,6 +42,30 @@ SCHEMAS = {
             "allocs_refresh_vs_full",
         ],
     },
+    "BENCH_select.json": {
+        "sections": ["benchmarks", "reduction"],
+        "benchmarks": {
+            "SelectScale/100k/selective/scan": ["ns_per_op", "evals_per_op"],
+            "SelectScale/100k/selective/plan": ["ns_per_op", "evals_per_op"],
+            "SelectScale/100k/broad/scan": ["ns_per_op", "evals_per_op"],
+            "SelectScale/100k/broad/plan": ["ns_per_op", "evals_per_op"],
+            "SelectScale/100k/unindexable/scan": ["ns_per_op"],
+            "SelectScale/100k/unindexable/plan": ["ns_per_op"],
+        },
+        "reduction": [
+            "evals_selective_100k_vs_scan",
+            "ns_selective_100k_vs_scan",
+            "unindexable_ns_overhead_100k",
+        ],
+        # Acceptance bounds, not just shape: the planner must beat the
+        # scan by these margins at 100k hosts, and the unindexable
+        # fallback must stay within 5% of the scan it delegates to.
+        "reduction_bounds": {
+            "evals_selective_100k_vs_scan": (100.0, None),
+            "ns_selective_100k_vs_scan": (10.0, None),
+            "unindexable_ns_overhead_100k": (None, 1.05),
+        },
+    },
 }
 
 # BENCH_obs.json is an obs.Registry snapshot captured by
@@ -57,6 +81,12 @@ OBS_SCHEMA = {
         "core_selections",
         "core_memo_hits",
         "core_stale_dropped",
+        "core_record_evals",
+        "index_plans",
+        "index_fallbacks",
+        "index_rows_pruned",
+        "index_residual_evals",
+        "index_resyncs",
         "transport_recv_frames",
         "transport_recv_torn",
         "transport_recv_resyncs",
@@ -70,6 +100,7 @@ OBS_SCHEMA = {
         "store_wizard_sec_records",
     ],
     "histograms": [
+        "index_apply_delta",
         "transport_epoch_catchup",
         "wizard_latency_answered",
         "wizard_latency_partial",
@@ -130,6 +161,14 @@ def check(path):
     for field in schema.get("reduction", []):
         if field not in doc.get("reduction", {}):
             errs.append(f"{name}: reduction lacks {field!r}")
+    for field, (lo, hi) in schema.get("reduction_bounds", {}).items():
+        val = doc.get("reduction", {}).get(field)
+        if not isinstance(val, (int, float)):
+            continue  # absence is reported above
+        if lo is not None and val < lo:
+            errs.append(f"{name}: reduction {field} = {val} below bound {lo}")
+        if hi is not None and val > hi:
+            errs.append(f"{name}: reduction {field} = {val} above bound {hi}")
     return errs
 
 
