@@ -47,7 +47,9 @@ func main() {
 		passive    = flag.String("passive", "", "TCP listen address for distributed-mode pulls (e.g. :1110)")
 		seclog     = flag.String("seclog", "", "security log file for the security monitor")
 		netmonName = flag.String("netmon", "", "this node's network monitor name (enables netmon)")
-		compat     = flag.Bool("compat", false, "thesis-faithful wire mode: full snapshot every epoch, no deltas")
+		udpBatch   = flag.Int("udp-batch", 32, "report datagrams per socket syscall (recvmmsg; 1: one syscall per datagram)")
+		shards     = flag.Int("shards", 1, "SO_REUSEPORT listener sockets for the report port (Linux; 1: single socket)")
+		compat     = flag.Bool("compat", false, "thesis-faithful wire mode: full snapshot every epoch, no deltas, unbatched unsharded ingest")
 		resyncEv   = flag.Int("resync-every", 0, "delta epochs between unsolicited full snapshots (0: default)")
 		debugAddr  = flag.String("debug", "", "HTTP metrics endpoint address, e.g. 127.0.0.1:6061 (empty: disabled)")
 		peers      peerList
@@ -76,12 +78,20 @@ func main() {
 	}
 	db.RegisterObs(reg, "monitor")
 
+	if *compat {
+		// The ingest half of -compat: one datagram per socket syscall,
+		// one listener socket — the historical serve loop.
+		*udpBatch = 1
+		*shards = 1
+	}
 	mon, err := monitor.New(monitor.Config{
 		Addr:            *listen,
 		DB:              db,
 		Interval:        *interval,
 		MissedIntervals: *missed,
 		EnableTCP:       *enableTCP,
+		Batch:           *udpBatch,
+		Shards:          *shards,
 		Logger:          logger,
 		Obs:             reg,
 	})
@@ -89,7 +99,7 @@ func main() {
 		logger.Fatal(err)
 	}
 	go mon.Run(ctx)
-	logger.Printf("system monitor on %s", mon.Addr())
+	logger.Printf("system monitor on %s (%d shard(s), batch %d)", mon.Addr(), mon.Shards(), *udpBatch)
 
 	if *seclog != "" {
 		sm, err := secmon.New(secmon.Config{

@@ -43,7 +43,9 @@ func main() {
 		workers     = flag.Int("workers", 1, "concurrent request handlers; 1 is the thesis-faithful sequential mode")
 		cacheSize   = flag.Int("cache-size", 0, "compiled-requirement cache entries (0: default, <0: disable)")
 		planAt      = flag.Int("plan-threshold", 0, "table size where the indexed selection planner takes over (0: default, <0: always full-scan)")
-		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, full-snapshot transport, no selection planner")
+		udpBatch    = flag.Int("udp-batch", 32, "request datagrams per socket syscall (recvmmsg/sendmmsg; 1: one syscall per datagram)")
+		shards      = flag.Int("shards", 1, "SO_REUSEPORT listener sockets for the request port (Linux; 1: single socket)")
+		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, unbatched unsharded socket, full-snapshot transport, no selection planner")
 		debugAddr   = flag.String("debug", "", "HTTP metrics endpoint address, e.g. 127.0.0.1:6060 (empty: disabled)")
 		pulls       addrList
 	)
@@ -127,9 +129,11 @@ func main() {
 	}
 	if *compat {
 		// §3.6.1 verbatim: one sequential handler, every requirement
-		// parsed on arrival.
+		// parsed on arrival, one datagram per socket syscall.
 		*workers = 1
 		*cacheSize = -1
+		*udpBatch = 1
+		*shards = 1
 	}
 	wz, err := wizard.New(wizard.Config{
 		Addr:      *listen,
@@ -139,12 +143,15 @@ func main() {
 		Logger:    logger,
 		Workers:   *workers,
 		CacheSize: *cacheSize,
+		Batch:     *udpBatch,
+		Shards:    *shards,
 		Obs:       reg,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("wizard on %s (%d worker(s))", wz.Addr(), max(*workers, 1))
+	logger.Printf("wizard on %s (%d worker(s), %d shard(s), batch %d)",
+		wz.Addr(), max(*workers, 1), wz.Shards(), *udpBatch)
 	go wz.Run(ctx)
 	<-ctx.Done()
 }

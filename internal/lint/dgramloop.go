@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// dgramLoopScope lists the packages whose serve loops live on the
+// batched datagram plane. A direct per-datagram UDP read there pays
+// one syscall per datagram — exactly the cost recvmmsg exists to
+// amortise — and silently bypasses the netbatch metrics that make the
+// plane observable. The one sanctioned call is netbatch's own
+// portable fallback, which carries a //lint:ignore rationale.
+var dgramLoopScope = map[string]bool{
+	"smartsock/internal/wizard":   true,
+	"smartsock/internal/monitor":  true,
+	"smartsock/internal/netbatch": true,
+}
+
+// dgramReadMethods are the net.UDPConn single-datagram receive calls.
+// These names exist only on UDPConn, so matching any net-package
+// method with one of them is precise.
+var dgramReadMethods = map[string]bool{
+	"ReadFromUDP":         true,
+	"ReadFromUDPAddrPort": true,
+	"ReadMsgUDP":          true,
+	"ReadMsgUDPAddrPort":  true,
+}
+
+// DgramLoop reports per-datagram UDP reads in serve-loop packages.
+var DgramLoop = &Analyzer{
+	Name: "dgramloop",
+	Doc:  "wizard/monitor/netbatch non-test code must not read UDP one datagram at a time; pull batches through netbatch.Endpoint.ReadBatch, or justify the call with a //lint:ignore rationale",
+	Run: func(pass *Pass) {
+		if !dgramLoopScope[pass.Pkg.Path] {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if IsTestFile(pass.Pkg.Fset, call.Pos()) {
+					return true
+				}
+				name, ok := CalleeFrom(pass.Pkg.Info, call, "net")
+				if !ok || !dgramReadMethods[name] {
+					return true
+				}
+				pass.Reportf(call.Pos(), "per-datagram %s on the serve path; read through netbatch.Endpoint.ReadBatch so syscalls amortise, or justify with //lint:ignore dgramloop <reason>", name)
+				return true
+			})
+		}
+	},
+}

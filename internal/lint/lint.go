@@ -32,7 +32,13 @@
 //     in internal/core or internal/wizard non-test code — per-request
 //     selection goes through the index planner, and the sanctioned
 //     scans (planner fallback, pre-planner baseline) must justify
-//     themselves with a //lint:ignore rationale.
+//     themselves with a //lint:ignore rationale;
+//   - dgramloop: no per-datagram net.UDPConn read (ReadFromUDP and
+//     kin) in internal/wizard, internal/monitor or internal/netbatch
+//     non-test code — serve loops pull batches through
+//     netbatch.Endpoint.ReadBatch so syscalls amortise, and the one
+//     sanctioned single-datagram call (netbatch's portable fallback)
+//     carries a //lint:ignore rationale.
 //
 // The analyzers above are syntactic: each looks at one function at a
 // time and matches call shapes. The flow-sensitive suite — wiretaint,
@@ -159,7 +165,7 @@ func Register(as ...*Analyzer) {
 // Analyzers returns the full suite in reporting order: the built-in
 // syntactic analyzers followed by registered flow analyzers.
 func Analyzers() []*Analyzer {
-	base := []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache, BatchBuf, ScanFree}
+	base := []*Analyzer{MutexHeld, Deadline, SleepFree, NoPanic, ErrDrop, ParseCache, BatchBuf, ScanFree, DgramLoop}
 	return append(base, registered...)
 }
 

@@ -76,6 +76,7 @@ type UDPConn struct{}
 func (c *UDPConn) Read(b []byte) (int, error) { return 0, nil }
 func (c *UDPConn) Write(b []byte) (int, error) { return 0, nil }
 func (c *UDPConn) ReadFromUDP(b []byte) (int, *UDPAddr, error) { return 0, nil, nil }
+func (c *UDPConn) ReadFromUDPAddrPort(b []byte) (int, *UDPAddr, error) { return 0, nil, nil }
 func (c *UDPConn) WriteToUDP(b []byte, addr *UDPAddr) (int, error) { return 0, nil }
 func (c *UDPConn) Close() error { return nil }
 func (c *UDPConn) SetDeadline(t time.Time) error { return nil }
@@ -686,6 +687,96 @@ func join(hosts []string) int {
 `,
 			want: nil,
 		},
+		// ---- dgramloop -------------------------------------------------
+		{
+			name:     "dgramloop/per-datagram read in a serve loop",
+			analyzer: "dgramloop",
+			pkgPath:  "smartsock/internal/wizard",
+			src: `package wizard
+import "net"
+func serve(c *net.UDPConn) {
+	buf := make([]byte, 1024)
+	for {
+		n, _, err := c.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		_ = n
+	}
+}
+`,
+			want: []int{6},
+		},
+		{
+			name:     "dgramloop/addrport variant in the monitor counts too",
+			analyzer: "dgramloop",
+			pkgPath:  "smartsock/internal/monitor",
+			src: `package monitor
+import "net"
+func ingest(c *net.UDPConn, buf []byte) (int, error) {
+	n, _, err := c.ReadFromUDPAddrPort(buf)
+	return n, err
+}
+`,
+			want: []int{4},
+		},
+		{
+			name:     "dgramloop/ignore directive with rationale suppresses",
+			analyzer: "dgramloop",
+			pkgPath:  "smartsock/internal/netbatch",
+			src: `package netbatch
+import "net"
+func readGeneric(c *net.UDPConn, buf []byte) (int, error) {
+	//lint:ignore dgramloop portable fallback for this fixture
+	n, _, err := c.ReadFromUDPAddrPort(buf)
+	return n, err
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "dgramloop/packages off the serve path may read singly",
+			analyzer: "dgramloop",
+			pkgPath:  "smartsock/internal/probe",
+			src: `package probe
+import "net"
+func await(c *net.UDPConn, buf []byte) (int, error) {
+	n, _, err := c.ReadFromUDP(buf)
+	return n, err
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "dgramloop/test files are exempt",
+			analyzer: "dgramloop",
+			pkgPath:  "smartsock/internal/wizard",
+			filename: "fixture_test.go",
+			src: `package wizard
+import "net"
+func drainForAssertions(c *net.UDPConn, buf []byte) (int, error) {
+	n, _, err := c.ReadFromUDP(buf)
+	return n, err
+}
+`,
+			want: nil,
+		},
+		{
+			name:     "dgramloop/writes and stream reads are untouched",
+			analyzer: "dgramloop",
+			pkgPath:  "smartsock/internal/wizard",
+			src: `package wizard
+import "net"
+func reply(c *net.UDPConn, buf []byte, to *net.UDPAddr) error {
+	if _, err := c.WriteToUDP(buf, to); err != nil {
+		return err
+	}
+	_, err := c.Read(buf)
+	return err
+}
+`,
+			want: nil,
+		},
 	}
 
 	for _, tc := range cases {
@@ -754,7 +845,7 @@ func b() {}
 // updating README.md's correctness-tooling section too.
 func TestSuiteNames(t *testing.T) {
 	want := []string{
-		"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache", "batchbuf", "scanfree",
+		"mutexheld", "deadline", "sleepfree", "nopanic", "errdrop", "parsecache", "batchbuf", "scanfree", "dgramloop",
 		"wiretaint", "framecase", "lockorder", "leakygo",
 	}
 	as := lint.Analyzers()

@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"smartsock/internal/status"
+	"smartsock/internal/store"
+	"smartsock/internal/sysinfo"
+)
+
+// BenchmarkMonitorIngest drives the UDP ingest loop with a windowed
+// sender and pins its allocation floor. The serve loop runs in its
+// own goroutine, so testing's per-goroutine alloc counter cannot see
+// it; the benchmark reads global memstats around the run instead. The
+// sender side is alloc-free (one dialled socket, one reused datagram),
+// so the global delta is the serve loop's own cost — which must not
+// include the seed loop's per-report *net.UDPAddr (ReadFromUDP minted
+// one per datagram; the netbatch plane reports peers as netip
+// values).
+func BenchmarkMonitorIngest(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		batch int
+	}{
+		{"batch1", 1},
+		{"batch32", 32},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			db := store.New()
+			m, err := New(Config{Addr: "127.0.0.1:0", DB: db, Interval: time.Hour, Batch: bc.batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go m.Run(ctx)
+
+			raddr, err := net.ResolveUDPAddr("udp", m.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn, err := net.DialUDP("udp", nil, raddr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			rep := sysinfo.Idle("bench-host", 3394.76, 256)
+			msg := status.EncodeReport(&rep)
+
+			// Warm-up round trip: lazily-built state (endpoint scratch,
+			// the db record, timer wheels) is paid before counting.
+			send(b, conn, msg, m, 64)
+
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			send(b, conn, msg, m, b.N)
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+
+			perReport := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+			b.ReportMetric(perReport, "allocs/report")
+			// The pin: the decode+upsert path costs a handful of
+			// allocations; the seed read loop added two more per report
+			// (the *net.UDPAddr and its IP slice). A regression back to
+			// per-datagram address minting trips this bound.
+			if b.N >= 1000 && perReport > 6 {
+				b.Fatalf("ingest allocations regressed: %.2f allocs/report", perReport)
+			}
+		})
+	}
+}
+
+// send pushes n copies of msg with at most a window's worth
+// unacknowledged by the monitor's received counter, resending through
+// any kernel-dropped datagrams until all n are ingested.
+func send(b *testing.B, conn *net.UDPConn, msg []byte, m *Monitor, n int) {
+	b.Helper()
+	start := m.Received()
+	target := start + uint64(n)
+	sent := 0
+	lastRecv := start
+	lastProgress := time.Now()
+	for {
+		r := m.Received()
+		if r >= target {
+			return
+		}
+		if r != lastRecv {
+			lastRecv = r
+			lastProgress = time.Now()
+		}
+		stalled := time.Since(lastProgress) > 10*time.Millisecond
+		if sent < n && (sent-int(r-start) < 64 || stalled) {
+			if _, err := conn.Write(msg); err != nil {
+				b.Fatal(err)
+			}
+			sent++
+			if stalled {
+				lastProgress = time.Now()
+			}
+			continue
+		}
+		if stalled {
+			// Everything sent but the counter stopped moving: some
+			// datagrams were dropped on the loopback; refill.
+			if _, err := conn.Write(msg); err != nil {
+				b.Fatal(err)
+			}
+			lastProgress = time.Now()
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -5,7 +5,11 @@
 // any time.
 //
 // Reports normally arrive as UDP datagrams; a TCP listener accepts
-// framed reports from probes running in the Chapter 6 TCP mode.
+// framed reports from probes running in the Chapter 6 TCP mode. The
+// UDP ingest rides the batched datagram plane (internal/netbatch):
+// Batch > 1 moves up to that many reports per recvmmsg, and
+// Shards > 1 spreads probe flows across SO_REUSEPORT sockets. Both
+// default off, preserving the historical one-syscall-per-report loop.
 package monitor
 
 import (
@@ -14,9 +18,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"smartsock/internal/netbatch"
 	"smartsock/internal/obs"
 	"smartsock/internal/status"
 	"smartsock/internal/store"
@@ -44,6 +50,17 @@ type Config struct {
 	// one. Off by default to preserve the historical behaviour where
 	// only sysdb records expire.
 	ExpireAll bool
+	// Batch is the most report datagrams one socket syscall may move
+	// on the ingest loop (recvmmsg on Linux; control replies flush via
+	// sendmmsg). 0 and 1 both select the historical
+	// one-syscall-per-datagram mode; values above netbatch.MaxBatch
+	// are clamped. Wire behaviour is identical at every setting.
+	Batch int
+	// Shards is the number of SO_REUSEPORT sockets bound to Addr so
+	// the kernel load-balances probe flows across ingest loops. 0 and
+	// 1 bind a single socket. Off Linux the setting degrades to one
+	// socket (counted by netbatch_fallback).
+	Shards int
 	// Logger receives decode errors; nil silences them.
 	Logger *log.Logger
 	// Obs, when set, registers the monitor's counters (monitor_reports,
@@ -54,7 +71,7 @@ type Config struct {
 // Monitor is a running system status monitor.
 type Monitor struct {
 	cfg      Config
-	udp      *net.UDPConn
+	shards   []*net.UDPConn // ≥1 sockets; >1 share the port via SO_REUSEPORT
 	tcp      net.Listener
 	received *obs.Counter // monitor_reports: valid reports ingested
 	dropped  *obs.Counter // monitor_reports_dropped: undecodable reports
@@ -85,6 +102,9 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.MissedIntervals <= 0 {
 		cfg.MissedIntervals = 3
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("monitor: %d shards", cfg.Shards)
+	}
 	udpAddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: resolve %q: %w", cfg.Addr, err)
@@ -98,13 +118,13 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		udp, err := net.ListenUDP("udp", udpAddr)
+		shards, err := netbatch.ListenShards(cfg.Addr, max(cfg.Shards, 1), cfg.Obs)
 		if err != nil {
 			return nil, fmt.Errorf("monitor: listen udp: %w", err)
 		}
 		m := &Monitor{
 			cfg:      cfg,
-			udp:      udp,
+			shards:   shards,
 			received: cfg.Obs.Counter("monitor_reports"),
 			dropped:  cfg.Obs.Counter("monitor_reports_dropped"),
 			expired:  cfg.Obs.Counter("monitor_expired"),
@@ -112,21 +132,28 @@ func New(cfg Config) (*Monitor, error) {
 		if !cfg.EnableTCP {
 			return m, nil
 		}
-		tcp, err := net.Listen("tcp", udp.LocalAddr().String())
+		tcp, err := net.Listen("tcp", shards[0].LocalAddr().String())
 		if err == nil {
 			m.tcp = tcp
 			return m, nil
 		}
 		// The UDP side is abandoned for a fresh port pick; the listen
 		// error is the one worth keeping.
-		_ = udp.Close()
+		for _, s := range shards {
+			_ = s.Close()
+		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("monitor: listen tcp: %w", lastErr)
 }
 
-// Addr reports the bound UDP address (useful with port 0).
-func (m *Monitor) Addr() string { return m.udp.LocalAddr().String() }
+// Addr reports the bound UDP address (useful with port 0); with
+// shards, every socket shares this port.
+func (m *Monitor) Addr() string { return m.shards[0].LocalAddr().String() }
+
+// Shards reports how many sockets actually ingest reports (the
+// SO_REUSEPORT request may degrade to one off Linux).
+func (m *Monitor) Shards() int { return len(m.shards) }
 
 // Received reports how many valid reports have been ingested.
 func (m *Monitor) Received() uint64 { return m.received.Value() }
@@ -137,7 +164,9 @@ func (m *Monitor) Expired() uint64 { return m.expired.Value() }
 // Dropped reports how many undecodable reports were discarded.
 func (m *Monitor) Dropped() uint64 { return m.dropped.Value() }
 
-// Run serves until the context is cancelled.
+// Run serves until the context is cancelled. Each shard socket gets
+// its own ingest loop; the kernel's SO_REUSEPORT flow hash spreads
+// probes across them.
 func (m *Monitor) Run(ctx context.Context) error {
 	done := make(chan struct{})
 	defer close(done)
@@ -147,7 +176,9 @@ func (m *Monitor) Run(ctx context.Context) error {
 		case <-done:
 		}
 		// The serve loops surface these closes as net.ErrClosed.
-		_ = m.udp.Close()
+		for _, s := range m.shards {
+			_ = s.Close()
+		}
 		if m.tcp != nil {
 			_ = m.tcp.Close()
 		}
@@ -158,9 +189,43 @@ func (m *Monitor) Run(ctx context.Context) error {
 	}
 	go m.expireLoop(ctx)
 
-	buf := make([]byte, 64*1024)
+	if len(m.shards) == 1 {
+		return m.serveUDP(ctx, m.shards[0])
+	}
+	errs := make(chan error, len(m.shards))
+	var wg sync.WaitGroup
+	for _, s := range m.shards {
+		wg.Add(1)
+		go func(conn *net.UDPConn) {
+			defer wg.Done()
+			errs <- m.serveUDP(ctx, conn)
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveUDP is one shard's ingest loop: pull a batch of report
+// datagrams, upsert each, and — when a report mask is configured —
+// flush the control replies with one batched write. The AddrPort
+// plumbing means steady-state ingest costs zero per-datagram heap
+// allocations (the seed loop's ReadFromUDP minted a *net.UDPAddr per
+// report; BenchmarkMonitorIngest pins the new floor).
+func (m *Monitor) serveUDP(ctx context.Context, conn *net.UDPConn) error {
+	ep, err := netbatch.Wrap(conn, netbatch.Options{Batch: m.cfg.Batch, Obs: m.cfg.Obs})
+	if err != nil {
+		return fmt.Errorf("monitor: %w", err)
+	}
+	rx := netbatch.NewBatch(ep.Batch(), 64*1024)
+	tx := netbatch.NewBatch(ep.Batch(), 8)
 	for {
-		n, from, err := m.udp.ReadFromUDP(buf)
+		n, err := ep.ReadBatch(rx)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -170,14 +235,31 @@ func (m *Monitor) Run(ctx context.Context) error {
 			}
 			return fmt.Errorf("monitor: read udp: %w", err)
 		}
-		if m.ingest(buf[:n]) {
-			if mask := m.ReportMask(); mask != 0 {
-				// Selected-parameters control reply (Ch. 6): ride the
-				// report's return path back to the probe.
-				if _, err := m.udp.WriteToUDP(status.EncodeControl(mask), from); err != nil {
-					m.logf("monitor: control reply to %v: %v", from, err)
-				}
+		mask := m.ReportMask()
+		var ctl []byte
+		if mask != 0 {
+			ctl = status.EncodeControl(mask)
+		}
+		replies := tx[:0]
+		for i := 0; i < n; i++ {
+			if !m.ingest(rx[i].Buf) || mask == 0 {
+				continue
 			}
+			// Selected-parameters control reply (Ch. 6): ride the
+			// report's return path back to the probe.
+			j := len(replies)
+			replies = replies[:j+1]
+			replies[j].Buf = append(replies[j].Buf[:0], ctl...)
+			replies[j].Addr = rx[i].Addr
+		}
+		if len(replies) == 0 {
+			continue
+		}
+		if sent, err := ep.WriteBatch(replies); err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return ctx.Err()
+			}
+			m.logf("monitor: control replies: %v (%d of %d sent)", err, sent, len(replies))
 		}
 	}
 }

@@ -1,0 +1,290 @@
+//go:build linux && (amd64 || arm64)
+
+// The Linux fast path: recvmmsg(2)/sendmmsg(2) through
+// syscall.Syscall6, driven inside syscall.RawConn.Read/Write
+// callbacks so the runtime poller still parks the goroutine while
+// the socket is idle. The syscalls run with MSG_DONTWAIT; EAGAIN
+// hands control back to the poller, everything else surfaces as an
+// *os.SyscallError. Scratch arrays (mmsghdrs, iovecs, sockaddr
+// buffers) are sized once at Wrap time and reused for the life of
+// the Conn, so a batched read or write allocates nothing.
+
+package netbatch
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+const rawSupported = true
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall
+// package (same value on every Linux architecture).
+const soReusePort = 0xf
+
+// mmsghdr mirrors struct mmsghdr: one msghdr plus the kernel-filled
+// datagram length. The trailing pad keeps the 8-byte stride the
+// kernel expects on LP64.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	nlen uint32
+	_    [4]byte
+}
+
+// sysState is the per-Conn scratch for the batched syscalls.
+type sysState struct {
+	rc        syscall.RawConn
+	rvec      []mmsghdr
+	riov      []syscall.Iovec
+	rname     []syscall.RawSockaddrInet6
+	wvec      []mmsghdr
+	wiov      []syscall.Iovec
+	wname     []syscall.RawSockaddrInet6
+	family    int  // AF_INET or AF_INET6, fixed at bind time
+	connected bool // dialled socket: sends must not name a peer
+}
+
+// initRaw arms the batched path: grabs the RawConn, probes the socket
+// family and connectedness once, and sizes the scratch arrays.
+func (c *Conn) initRaw() error {
+	rc, err := c.udp.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var family int
+	var connected bool
+	cerr := rc.Control(func(fd uintptr) {
+		sa, err := syscall.Getsockname(int(fd))
+		if err == nil {
+			if _, ok := sa.(*syscall.SockaddrInet4); ok {
+				family = syscall.AF_INET
+			} else {
+				family = syscall.AF_INET6
+			}
+		}
+		if _, err := syscall.Getpeername(int(fd)); err == nil {
+			connected = true
+		}
+	})
+	if cerr != nil {
+		return cerr
+	}
+	if family == 0 {
+		family = syscall.AF_INET6
+	}
+	b := c.batch
+	c.sys = sysState{
+		rc:        rc,
+		rvec:      make([]mmsghdr, b),
+		riov:      make([]syscall.Iovec, b),
+		rname:     make([]syscall.RawSockaddrInet6, b),
+		wvec:      make([]mmsghdr, b),
+		wiov:      make([]syscall.Iovec, b),
+		wname:     make([]syscall.RawSockaddrInet6, b),
+		family:    family,
+		connected: connected,
+	}
+	return nil
+}
+
+// readBatchRaw receives up to min(len(ms), batch) datagrams with one
+// recvmmsg per wakeup.
+func (c *Conn) readBatchRaw(ms []Message) (int, error) {
+	n := len(ms)
+	if n > c.batch {
+		n = c.batch
+	}
+	for i := 0; i < n; i++ {
+		buf := ms[i].Buf[:cap(ms[i].Buf)]
+		ms[i].Buf = buf
+		if len(buf) > 0 {
+			c.sys.riov[i].Base = &buf[0]
+		} else {
+			c.sys.riov[i].Base = nil
+		}
+		c.sys.riov[i].SetLen(len(buf))
+		h := &c.sys.rvec[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&c.sys.rname[i]))
+		h.Namelen = uint32(unsafe.Sizeof(c.sys.rname[i]))
+		h.Iov = &c.sys.riov[i]
+		h.Iovlen = 1
+		h.Control = nil
+		h.Controllen = 0
+		h.Flags = 0
+	}
+	var got int
+	var errno syscall.Errno
+	err := c.sys.rc.Read(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&c.sys.rvec[0])), uintptr(n),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EINTR {
+			return false // park on the poller until readable
+		}
+		got, errno = int(r), e
+		return true
+	})
+	if err != nil {
+		return 0, err // poller-level: closed socket or deadline
+	}
+	if errno != 0 {
+		return 0, os.NewSyscallError("recvmmsg", errno)
+	}
+	c.m.rxSys.Inc()
+	for i := 0; i < got; i++ {
+		ms[i].Buf = ms[i].Buf[:c.sys.rvec[i].nlen]
+		ms[i].Addr = decodeSockaddr(&c.sys.rname[i])
+	}
+	return got, nil
+}
+
+// writeBatchRaw sends every message, moving as many per sendmmsg as
+// the kernel takes. A per-datagram failure skips that datagram and
+// carries on; a poller-level failure (closed, deadline) aborts.
+func (c *Conn) writeBatchRaw(ms []Message) (int, error) {
+	sent := 0
+	var firstErr error
+	for off := 0; off < len(ms); {
+		n := len(ms) - off
+		if n > c.batch {
+			n = c.batch
+		}
+		for i := 0; i < n; i++ {
+			m := &ms[off+i]
+			if len(m.Buf) > 0 {
+				c.sys.wiov[i].Base = &m.Buf[0]
+			} else {
+				c.sys.wiov[i].Base = nil
+			}
+			c.sys.wiov[i].SetLen(len(m.Buf))
+			h := &c.sys.wvec[i].hdr
+			if c.sys.connected || !m.Addr.IsValid() {
+				h.Name = nil
+				h.Namelen = 0
+			} else {
+				h.Namelen = encodeSockaddr(&c.sys.wname[i], c.sys.family, m.Addr)
+				h.Name = (*byte)(unsafe.Pointer(&c.sys.wname[i]))
+			}
+			h.Iov = &c.sys.wiov[i]
+			h.Iovlen = 1
+			h.Control = nil
+			h.Controllen = 0
+			h.Flags = 0
+			c.sys.wvec[i].nlen = 0
+		}
+		k := 0
+		for k < n {
+			var wrote int
+			var errno syscall.Errno
+			err := c.sys.rc.Write(func(fd uintptr) bool {
+				r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+					uintptr(unsafe.Pointer(&c.sys.wvec[k])), uintptr(n-k),
+					syscall.MSG_DONTWAIT, 0, 0)
+				if e == syscall.EAGAIN || e == syscall.EINTR {
+					return false // wait for the send buffer to drain
+				}
+				wrote, errno = int(r), e
+				return true
+			})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return sent, firstErr
+			}
+			if errno != 0 {
+				// sendmmsg reports an error only when the *first*
+				// pending datagram fails; skip it and keep the rest
+				// moving — a transient ENOBUFS must not wedge the loop.
+				if firstErr == nil {
+					firstErr = os.NewSyscallError("sendmmsg", errno)
+				}
+				k++
+				continue
+			}
+			c.m.txSys.Inc()
+			sent += wrote
+			k += wrote
+		}
+		off += n
+	}
+	return sent, firstErr
+}
+
+// ntohs converts a network-byte-order port field (amd64 and arm64
+// are both little-endian).
+func ntohs(p uint16) uint16 { return p<<8 | p>>8 }
+
+// decodeSockaddr turns a kernel-filled raw sockaddr into a
+// netip.AddrPort without allocating. Dual-stack mapped v4 peers are
+// unmapped so both I/O paths report identical addresses.
+func decodeSockaddr(sa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), ntohs(sa4.Port))
+	case syscall.AF_INET6:
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), ntohs(sa.Port))
+	}
+	return netip.AddrPort{}
+}
+
+// encodeSockaddr fills sa for a send to ap on a socket of the given
+// family, returning the sockaddr length. v4 destinations on a
+// dual-stack (AF_INET6) socket are written in v4-mapped form, which
+// As16 produces directly.
+func encodeSockaddr(sa *syscall.RawSockaddrInet6, family int, ap netip.AddrPort) uint32 {
+	if family == syscall.AF_INET {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		sa4.Family = syscall.AF_INET
+		sa4.Port = ntohs(ap.Port())
+		sa4.Addr = ap.Addr().Unmap().As4()
+		return uint32(unsafe.Sizeof(*sa4))
+	}
+	sa.Family = syscall.AF_INET6
+	sa.Port = ntohs(ap.Port())
+	sa.Addr = ap.Addr().As16()
+	sa.Scope_id = 0
+	return uint32(unsafe.Sizeof(*sa))
+}
+
+// listenShards binds n SO_REUSEPORT sockets to the same port. The
+// first bind may pick an ephemeral port; the rest join it.
+func listenShards(addr string, n int, _ metrics) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: func(network, address string, rc syscall.RawConn) error {
+		var serr error
+		if err := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	conns := make([]*net.UDPConn, 0, n)
+	bind := addr
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bind)
+		if err != nil {
+			closeAll(conns)
+			return nil, fmt.Errorf("netbatch: listen shard %d: %w", i, err)
+		}
+		uc, ok := pc.(*net.UDPConn)
+		if !ok {
+			closeAll(conns)
+			_ = pc.Close()
+			return nil, fmt.Errorf("netbatch: shard %d is %T, not *net.UDPConn", i, pc)
+		}
+		conns = append(conns, uc)
+		if i == 0 {
+			// Later shards must join the concrete port the first bind
+			// got, which matters when addr asked for port 0.
+			bind = uc.LocalAddr().String()
+		}
+	}
+	return conns, nil
+}

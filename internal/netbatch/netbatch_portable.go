@@ -1,0 +1,41 @@
+//go:build !(linux && (amd64 || arm64))
+
+// The portable build: no recvmmsg/sendmmsg, no SO_REUSEPORT. Wrap
+// serves every batch through the generic single-datagram path (and
+// counts netbatch_fallback when batching was requested), and
+// ListenShards degrades to one socket. Behaviour on the wire is
+// byte-identical to the Linux build — datagrams just move one per
+// syscall.
+
+package netbatch
+
+import (
+	"errors"
+	"net"
+)
+
+const rawSupported = false
+
+// sysState has no scratch to hold on the portable path.
+type sysState struct{}
+
+// initRaw is never reached: Wrap only calls it when rawSupported.
+func (c *Conn) initRaw() error { return errors.ErrUnsupported }
+
+// readBatchRaw is never reached on the portable build.
+func (c *Conn) readBatchRaw(ms []Message) (int, error) { return 0, errors.ErrUnsupported }
+
+// writeBatchRaw is never reached on the portable build.
+func (c *Conn) writeBatchRaw(ms []Message) (int, error) { return 0, errors.ErrUnsupported }
+
+// listenShards cannot spread load without SO_REUSEPORT; it binds one
+// socket and records the degradation so dashboards can see a sharded
+// deployment quietly running unsharded.
+func listenShards(addr string, _ int, m metrics) ([]*net.UDPConn, error) {
+	c, err := listenOne(addr)
+	if err != nil {
+		return nil, err
+	}
+	m.fallback.Inc()
+	return []*net.UDPConn{c}, nil
+}

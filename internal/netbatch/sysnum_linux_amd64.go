@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package netbatch
+
+// sysSENDMMSG is __NR_sendmmsg on linux/amd64; the frozen syscall
+// package predates the syscall and never got the constant (recvmmsg
+// made it in as syscall.SYS_RECVMMSG).
+const sysSENDMMSG = 307

@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package netbatch
+
+// sysSENDMMSG is __NR_sendmmsg on linux/arm64.
+const sysSENDMMSG = 269

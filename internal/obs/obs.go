@@ -124,6 +124,13 @@ var LatencyBuckets = []int64{
 // as it lands); the powers of four cover catch-up after a partition.
 var LagBuckets = []int64{0, 1, 4, 16, 64, 256, 1024, 4096}
 
+// BatchBuckets are the default datagrams-per-syscall bounds for the
+// batched datagram plane (internal/netbatch): 1 is the ping-pong
+// floor, 64 the netbatch.MaxBatch ceiling, powers of two between. A
+// histogram whose mass sits at 1 means batching is configured but the
+// traffic never queues deep enough to amortise a syscall.
+var BatchBuckets = []int64{1, 2, 4, 8, 16, 32, 64}
+
 // Registry is a namespace of metrics. The zero value is not usable;
 // call NewRegistry. All methods are safe for concurrent use, and all
 // are safe on a nil receiver (returning detached metrics), so

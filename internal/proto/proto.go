@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"unsafe"
 )
 
 // MaxServers is the upper bound on servers returned in one reply; the
@@ -67,25 +68,42 @@ func MarshalRequest(r *Request) []byte {
 	return append(b, r.Detail...)
 }
 
-// UnmarshalRequest decodes a request datagram.
+// UnmarshalRequest decodes a request datagram. The returned Request
+// owns its Detail text and stays valid after b is reused.
 func UnmarshalRequest(b []byte) (*Request, error) {
+	r := new(Request)
+	if err := ParseRequest(b, r); err != nil {
+		return nil, err
+	}
+	r.Detail = strings.Clone(r.Detail)
+	return r, nil
+}
+
+// ParseRequest decodes a request datagram into r without copying the
+// requirement text: r.Detail aliases b, so r is valid only while b's
+// bytes are stable. The wizard's serve loops parse into a per-loop
+// scratch Request so a request storm decodes without allocating;
+// callers that retain the request past the next buffer reuse must go
+// through UnmarshalRequest instead.
+func ParseRequest(b []byte, r *Request) error {
 	if len(b) < 13 {
-		return nil, fmt.Errorf("proto: request datagram too short (%d bytes)", len(b))
+		return fmt.Errorf("proto: request datagram too short (%d bytes)", len(b))
 	}
 	if b[0] != msgRequest {
-		return nil, fmt.Errorf("proto: not a request datagram (tag 0x%02x)", b[0])
-	}
-	r := &Request{
-		Seq:       binary.BigEndian.Uint32(b[1:]),
-		ServerNum: binary.BigEndian.Uint16(b[5:]),
-		Option:    Option(binary.BigEndian.Uint16(b[7:])),
+		return fmt.Errorf("proto: not a request datagram (tag 0x%02x)", b[0])
 	}
 	n := binary.BigEndian.Uint32(b[9:])
 	if uint32(len(b)-13) != n {
-		return nil, fmt.Errorf("proto: request detail length %d does not match datagram (%d left)", n, len(b)-13)
+		return fmt.Errorf("proto: request detail length %d does not match datagram (%d left)", n, len(b)-13)
 	}
-	r.Detail = string(b[13:])
-	return r, nil
+	r.Seq = binary.BigEndian.Uint32(b[1:])
+	r.ServerNum = binary.BigEndian.Uint16(b[5:])
+	r.Option = Option(binary.BigEndian.Uint16(b[7:]))
+	r.Detail = ""
+	if n > 0 {
+		r.Detail = unsafe.String(&b[13], len(b)-13)
+	}
+	return nil
 }
 
 // MarshalReply encodes a reply datagram. Server names may not contain

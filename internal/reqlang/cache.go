@@ -2,6 +2,7 @@ package reqlang
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"smartsock/internal/obs"
@@ -66,7 +67,9 @@ func NewCacheObs(max int, reg *obs.Registry) *Cache {
 
 // Get returns the compiled program for src, parsing it at most once
 // while it stays resident. The parse itself runs outside the cache
-// lock so a storm of distinct texts does not serialise on it.
+// lock so a storm of distinct texts does not serialise on it. Get
+// never retains src itself (inserted keys are cloned), so src may
+// alias a buffer the caller reuses.
 func (c *Cache) Get(src string) (*Program, error) {
 	if c == nil || c.max <= 0 {
 		if c != nil {
@@ -94,6 +97,10 @@ func (c *Cache) Get(src string) (*Program, error) {
 		e := el.Value.(*cacheEntry)
 		return e.prog, e.err
 	}
+	// Clone before inserting: callers may pass a src that aliases a
+	// reusable receive buffer (the wizard's zero-alloc serve path
+	// does), and the map key outlives the call.
+	src = strings.Clone(src)
 	c.entries[src] = c.ll.PushFront(&cacheEntry{src: src, prog: prog, err: err})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()

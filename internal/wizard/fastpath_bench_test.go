@@ -3,10 +3,12 @@ package wizard
 import (
 	"context"
 	"net"
+	"net/netip"
 	"testing"
 	"time"
 
 	"smartsock/internal/core"
+	"smartsock/internal/netbatch"
 	"smartsock/internal/proto"
 	"smartsock/internal/store"
 	"smartsock/internal/sysinfo"
@@ -25,7 +27,7 @@ var stormMix = []string{
 }
 
 // stormSelector registers the 11-host benchmark set.
-func stormSelector(b *testing.B) *core.Selector {
+func stormSelector(b testing.TB) *core.Selector {
 	b.Helper()
 	db := store.New()
 	hosts := []struct {
@@ -75,32 +77,55 @@ func BenchmarkWizardAnswer(b *testing.B) {
 	b.Run("cached", func(b *testing.B) { run(b, 0) })
 }
 
+// stormDatagrams marshals the storm mix once per run.
+func stormDatagrams() [][]byte {
+	datagrams := make([][]byte, len(stormMix))
+	for i, detail := range stormMix {
+		datagrams[i] = proto.MarshalRequest(&proto.Request{
+			Seq: uint32(i), ServerNum: 4,
+			Option: proto.OptPartialOK | proto.OptRankByExpr,
+			Detail: detail,
+		})
+	}
+	return datagrams
+}
+
+// splitAcross spreads b.N requests over the client goroutines.
+func splitAcross(n, clients int) []int {
+	counts := make([]int, clients)
+	for i := 0; i < n; i++ {
+		counts[i%clients]++
+	}
+	return counts
+}
+
 // BenchmarkWizardStorm measures end-to-end UDP request/reply
-// throughput under a storm from 8 ping-pong clients. "seq-uncached"
-// is the seed serving model (sequential loop, no cache);
-// "workers8-cached" is the fast path. The req/s metric is the
-// headline EXPERIMENTS.md number.
+// throughput under a storm from 8 clients. "seq-uncached" is the
+// seed serving model (sequential loop, no cache, one datagram per
+// syscall); "seq-cached" adds the requirement cache;
+// "workers8-cached" adds 8 worker loops sharing one socket, still
+// under ping-pong clients (one request in flight per client — the
+// load shape that used to invert below seq because REUSEPORT
+// sharding starves idle shards); "shards8-batched" is the full
+// datagram plane: 8 SO_REUSEPORT shards with batch-64 endpoints,
+// driven by windowed clients that each keep 64 requests in flight
+// through their own batched endpoint, so the server's
+// recvmmsg/sendmmsg actually amortise. The req/s metrics are the
+// headline EXPERIMENTS.md numbers.
 func BenchmarkWizardStorm(b *testing.B) {
-	run := func(b *testing.B, workers, cacheSize int) {
+	const clients = 8
+
+	run := func(b *testing.B, workers, cacheSize, batch, shards int) {
 		w := startWizard(b, Config{
 			Selector:  stormSelector(b),
 			Workers:   workers,
 			CacheSize: cacheSize,
+			Batch:     batch,
+			Shards:    shards,
 		})
-		datagrams := make([][]byte, len(stormMix))
-		for i, detail := range stormMix {
-			datagrams[i] = proto.MarshalRequest(&proto.Request{
-				Seq: uint32(i), ServerNum: 4,
-				Option: proto.OptPartialOK | proto.OptRankByExpr,
-				Detail: detail,
-			})
-		}
-		const clients = 8
+		datagrams := stormDatagrams()
 		errs := make(chan error, clients)
-		counts := make([]int, clients)
-		for i := 0; i < b.N; i++ {
-			counts[i%clients]++
-		}
+		counts := splitAcross(b.N, clients)
 		b.ResetTimer()
 		start := time.Now()
 		for c := 0; c < clients; c++ {
@@ -137,7 +162,91 @@ func BenchmarkWizardStorm(b *testing.B) {
 		elapsed := time.Since(start)
 		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
 	}
-	b.Run("seq-uncached", func(b *testing.B) { run(b, 1, -1) })
-	b.Run("seq-cached", func(b *testing.B) { run(b, 1, 0) })
-	b.Run("workers8-cached", func(b *testing.B) { run(b, 8, 0) })
+
+	// runWindowed is the batched-client harness: every client keeps a
+	// window of requests in flight over its own netbatch endpoint, so
+	// datagrams queue server-side and recvmmsg drains them in bulk. A
+	// read timeout reopens the window (resending through loopback
+	// drops), so the run always completes.
+	runWindowed := func(b *testing.B, workers, cacheSize, batch, shards int) {
+		w := startWizard(b, Config{
+			Selector:  stormSelector(b),
+			Workers:   workers,
+			CacheSize: cacheSize,
+			Batch:     batch,
+			Shards:    shards,
+		})
+		datagrams := stormDatagrams()
+		const window = 64
+		errs := make(chan error, clients)
+		counts := splitAcross(b.N, clients)
+		b.ResetTimer()
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			go func(count int) {
+				raddr, err := net.ResolveUDPAddr("udp", w.Addr())
+				if err != nil {
+					errs <- err
+					return
+				}
+				conn, err := net.DialUDP("udp", nil, raddr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer conn.Close()
+				cep, err := netbatch.Wrap(conn, netbatch.Options{Batch: window})
+				if err != nil {
+					errs <- err
+					return
+				}
+				out := netbatch.NewBatch(window, 256)
+				in := netbatch.NewBatch(window, 64*1024)
+				sent, recvd := 0, 0
+				for recvd < count {
+					if inflight := sent - recvd; sent < count && inflight < window {
+						k := min(window-inflight, count-sent)
+						for i := 0; i < k; i++ {
+							out[i].Buf = append(out[i].Buf[:0], datagrams[(sent+i)%len(datagrams)]...)
+							out[i].Addr = netip.AddrPort{} // connected socket
+						}
+						n, err := cep.WriteBatch(out[:k])
+						if err != nil {
+							errs <- err
+							return
+						}
+						sent += n
+						continue
+					}
+					if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+						errs <- err
+						return
+					}
+					n, err := cep.ReadBatch(in)
+					if err != nil {
+						// Datagram loss: reopen the window and resend.
+						sent = recvd
+						continue
+					}
+					recvd += n
+					if recvd > count {
+						recvd = count
+					}
+				}
+				errs <- nil
+			}(counts[c])
+		}
+		for c := 0; c < clients; c++ {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+	}
+
+	b.Run("seq-uncached", func(b *testing.B) { run(b, 1, -1, 1, 1) })
+	b.Run("seq-cached", func(b *testing.B) { run(b, 1, 0, 1, 1) })
+	b.Run("workers8-cached", func(b *testing.B) { run(b, 8, 0, 32, 1) })
+	b.Run("shards8-batched", func(b *testing.B) { runWindowed(b, 8, 0, 64, 8) })
 }

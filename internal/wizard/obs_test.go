@@ -65,11 +65,13 @@ func TestStatsConsistentUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			var req proto.Request
+			var reply proto.Reply
 			for j := 0; j < perWriter; j++ {
 				if (i+j)%3 == 0 {
-					w.handle(ctx, bad)
+					w.handle(ctx, bad, &req, &reply)
 				} else {
-					w.handle(ctx, good)
+					w.handle(ctx, good, &req, &reply)
 				}
 			}
 		}(i)

@@ -12,9 +12,16 @@
 // Workers: 1 (the default) preserves that mode byte-for-byte on the
 // wire. Because storms are the expected workload, the wizard also has
 // a fast path: Workers: N serves requests from N concurrent handler
-// goroutines reading the same socket, requirement texts compile once
-// through a bounded LRU cache (reqlang.Cache), and each worker reuses
-// its read and reply-marshal buffers across requests.
+// goroutines, requirement texts compile once through a bounded LRU
+// cache (reqlang.Cache), and each worker reuses its read and
+// reply-marshal buffers across requests. The datagram plane itself is
+// batched and sharded (internal/netbatch): Batch > 1 moves up to that
+// many requests per recvmmsg and flushes the worker's reply vector
+// with one sendmmsg, and Shards > 1 binds that many SO_REUSEPORT
+// sockets so each worker owns a private socket instead of contending
+// on a shared fd. Both knobs are wire-transparent; Batch/Shards of 1
+// (wizardd -compat) reproduce the historical one-syscall-per-datagram
+// behaviour exactly.
 //
 // In distributed mode the wizard triggers a pull from the passive
 // transmitters before matching, so sparse deployments only move
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"smartsock/internal/core"
+	"smartsock/internal/netbatch"
 	"smartsock/internal/obs"
 	"smartsock/internal/proto"
 	"smartsock/internal/reqlang"
@@ -67,9 +75,22 @@ type Config struct {
 	// caching so every request re-parses (the seed behaviour, kept
 	// for comparison benchmarks and wizardd -compat).
 	CacheSize int
+	// Batch is the most request datagrams one socket syscall may move
+	// on the serve loop (recvmmsg/sendmmsg on Linux). 0 and 1 both
+	// select the historical one-syscall-per-datagram mode; values
+	// above netbatch.MaxBatch are clamped. Wire behaviour is
+	// identical at every setting.
+	Batch int
+	// Shards is the number of SO_REUSEPORT sockets bound to Addr so
+	// the kernel load-balances request flows across serve loops. 0
+	// and 1 bind a single socket. Off Linux the setting degrades to
+	// one socket (counted by netbatch_fallback).
+	Shards int
 	// Obs, when set, registers the wizard's counters (wizard_requests,
-	// wizard_rejected, wizard_update_failures), its per-outcome
-	// request-latency histograms (wizard_latency_*) and the
+	// wizard_rejected, wizard_update_failures, wizard_reply_errors),
+	// its per-outcome request-latency histograms (wizard_latency_*),
+	// the datagrams-per-syscall histograms (wizard_recv_batch,
+	// wizard_send_batch), the netbatch syscall counters and the
 	// requirement cache's hit/miss counters; nil detaches them all.
 	Obs *obs.Registry
 }
@@ -77,12 +98,23 @@ type Config struct {
 // Wizard is a running request handler.
 type Wizard struct {
 	cfg        Config
-	conn       *net.UDPConn
+	shards     []*net.UDPConn // ≥1 sockets; >1 share the port via SO_REUSEPORT
 	cache      *reqlang.Cache
 	templates  atomic.Pointer[map[string]string]
 	handled    *obs.Counter // wizard_requests: requests answered
 	rejected   *obs.Counter // wizard_rejected: answered with an error
 	updateFail *obs.Counter // wizard_update_failures: pre-request refreshes failed
+	replyErr   *obs.Counter // wizard_reply_errors: reply datagrams the kernel refused
+
+	// Datagrams-per-syscall histograms: how full the batched plane
+	// actually runs. A sum far above the count means recvmmsg is
+	// earning its keep; sum == count means ping-pong traffic.
+	recvBatch *obs.Histogram // wizard_recv_batch
+	sendBatch *obs.Histogram // wizard_send_batch
+
+	// testWrap, when set by tests, wraps each serve loop's endpoint —
+	// the injection point for write-error fault tests.
+	testWrap func(netbatch.Endpoint) netbatch.Endpoint
 
 	// Per-outcome request-latency histograms (§3.6.1's selection
 	// quality, made measurable): every Answer lands in exactly one.
@@ -119,7 +151,7 @@ func (w *Wizard) recordVars(vars []string) {
 	}
 }
 
-// New binds the wizard's socket.
+// New binds the wizard's socket (or SO_REUSEPORT shard set).
 func New(cfg Config) (*Wizard, error) {
 	if cfg.Selector == nil {
 		return nil, fmt.Errorf("wizard: nil selector")
@@ -127,13 +159,12 @@ func New(cfg Config) (*Wizard, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("wizard: %d workers", cfg.Workers)
 	}
-	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("wizard: resolve %q: %w", cfg.Addr, err)
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("wizard: %d shards", cfg.Shards)
 	}
-	conn, err := net.ListenUDP("udp", addr)
+	shards, err := netbatch.ListenShards(cfg.Addr, max(cfg.Shards, 1), cfg.Obs)
 	if err != nil {
-		return nil, fmt.Errorf("wizard: listen: %w", err)
+		return nil, fmt.Errorf("wizard: %w", err)
 	}
 	size := cfg.CacheSize
 	switch {
@@ -144,11 +175,14 @@ func New(cfg Config) (*Wizard, error) {
 	}
 	w := &Wizard{
 		cfg:         cfg,
-		conn:        conn,
+		shards:      shards,
 		cache:       reqlang.NewCacheObs(size, cfg.Obs),
 		handled:     cfg.Obs.Counter("wizard_requests"),
 		rejected:    cfg.Obs.Counter("wizard_rejected"),
 		updateFail:  cfg.Obs.Counter("wizard_update_failures"),
+		replyErr:    cfg.Obs.Counter("wizard_reply_errors"),
+		recvBatch:   cfg.Obs.Histogram("wizard_recv_batch", obs.BatchBuckets),
+		sendBatch:   cfg.Obs.Histogram("wizard_send_batch", obs.BatchBuckets),
 		latAnswered: cfg.Obs.Histogram("wizard_latency_answered", obs.LatencyBuckets),
 		latPartial:  cfg.Obs.Histogram("wizard_latency_partial", obs.LatencyBuckets),
 		latStale:    cfg.Obs.Histogram("wizard_latency_stale_dropped", obs.LatencyBuckets),
@@ -160,8 +194,19 @@ func New(cfg Config) (*Wizard, error) {
 	return w, nil
 }
 
-// Addr reports the bound UDP address.
-func (w *Wizard) Addr() string { return w.conn.LocalAddr().String() }
+// Addr reports the bound UDP address; with shards, every socket
+// shares this port.
+func (w *Wizard) Addr() string { return w.shards[0].LocalAddr().String() }
+
+// Shards reports how many sockets actually serve the port (the
+// SO_REUSEPORT request may degrade to one off Linux).
+func (w *Wizard) Shards() int { return len(w.shards) }
+
+// ReplyErrors reports how many reply datagrams the kernel refused to
+// send. The serve loop drops the reply and keeps going — the client
+// retries like any other datagram loss — so this counter is the only
+// visible trace of a saturated send path.
+func (w *Wizard) ReplyErrors() uint64 { return w.replyErr.Value() }
 
 // Handled reports the number of requests answered.
 func (w *Wizard) Handled() uint64 { return w.handled.Value() }
@@ -209,26 +254,32 @@ func (w *Wizard) ReloadTemplates(templates map[string]string) {
 
 // Run serves requests until the context is cancelled: sequentially
 // with Workers ≤ 1 (the thesis wizard "processes the user requests
-// sequentially"), or from a pool of handler goroutines all reading
-// the same socket otherwise.
+// sequentially"), or from a pool of handler goroutines otherwise.
+// With shards, loop i serves socket i mod len(shards), and at least
+// one loop runs per shard so no socket's flows go unanswered.
 func (w *Wizard) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
 		// The serve loops below surface the close as net.ErrClosed.
-		_ = w.conn.Close()
+		for _, s := range w.shards {
+			_ = s.Close()
+		}
 	}()
-	workers := w.cfg.Workers
-	if workers <= 1 {
-		return w.serve(ctx)
+	loops := max(w.cfg.Workers, 1)
+	if loops < len(w.shards) {
+		loops = len(w.shards)
 	}
-	errs := make(chan error, workers)
+	if loops == 1 {
+		return w.serve(ctx, w.shards[0])
+	}
+	errs := make(chan error, loops)
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for i := 0; i < loops; i++ {
 		wg.Add(1)
-		go func() {
+		go func(conn *net.UDPConn) {
 			defer wg.Done()
-			errs <- w.serve(ctx)
-		}()
+			errs <- w.serve(ctx, conn)
+		}(w.shards[i%len(w.shards)])
 	}
 	wg.Wait()
 	close(errs)
@@ -240,51 +291,104 @@ func (w *Wizard) Run(ctx context.Context) error {
 	return nil
 }
 
-// serve is one handler loop: read a datagram, answer it, reply. Each
-// loop owns a receive buffer and a reply-marshal buffer, reused
-// across requests; concurrent loops share the socket (the net package
-// serialises the datagram reads and writes themselves).
-func (w *Wizard) serve(ctx context.Context) error {
-	buf := make([]byte, 64*1024)
-	var out []byte
+// serve is one handler loop: pull a batch of requests, answer each
+// into a pooled reply vector, flush the replies with one batched
+// write. Each loop owns its receive and reply vectors (buffers grow
+// once and are reused across batches) and its own netbatch endpoint;
+// loops sharing a socket are serialised by the kernel. With Batch ≤ 1
+// the plane degrades to exactly the historical
+// read-one/answer/write-one cycle.
+func (w *Wizard) serve(ctx context.Context, conn *net.UDPConn) error {
+	ep, err := w.endpoint(conn)
+	if err != nil {
+		return err
+	}
+	batch := w.cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > netbatch.MaxBatch {
+		batch = netbatch.MaxBatch
+	}
+	rx := netbatch.NewBatch(batch, 64*1024)
+	tx := netbatch.NewBatch(batch, 2048)
+	var req proto.Request // scratch: refilled per datagram, never retained
+	var reply proto.Reply
 	for {
-		// The AddrPort variants return the peer as a value, so a
-		// datagram read costs no *net.UDPAddr allocation.
-		n, from, err := w.conn.ReadFromUDPAddrPort(buf)
+		n, err := ep.ReadBatch(rx)
 		if err != nil {
 			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("wizard: read: %w", err)
 		}
-		reply := w.handle(ctx, buf[:n])
-		if reply == nil {
-			continue // undecodable request: nothing to answer
+		w.recvBatch.Observe(int64(n))
+		replies := tx[:0]
+		for i := 0; i < n; i++ {
+			if !w.handle(ctx, rx[i].Buf, &req, &reply) {
+				continue // undecodable request: nothing to answer
+			}
+			j := len(replies)
+			replies = replies[:j+1]
+			out, err := proto.AppendReply(replies[j].Buf[:0], &reply)
+			if err != nil {
+				replies = replies[:j]
+				w.logf("wizard: marshal reply: %v", err)
+				continue
+			}
+			replies[j].Buf = out
+			replies[j].Addr = rx[i].Addr
 		}
-		out, err = proto.AppendReply(out[:0], reply)
-		if err != nil {
-			w.logf("wizard: marshal reply: %v", err)
+		if len(replies) == 0 {
 			continue
 		}
-		if _, err := w.conn.WriteToUDPAddrPort(out, from); err != nil {
-			w.logf("wizard: send reply: %v", err)
+		w.sendBatch.Observe(int64(len(replies)))
+		sent, err := ep.WriteBatch(replies)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			// Transient send failure (ENOBUFS under reply pressure):
+			// the unsent replies are dropped like any datagram loss,
+			// counted, and the loop keeps serving.
+			w.replyErr.Add(uint64(len(replies) - sent))
+			w.logf("wizard: send replies: %v (%d of %d sent)", err, sent, len(replies))
 		}
 	}
 }
 
-// handle processes one request datagram and builds the reply.
-func (w *Wizard) handle(ctx context.Context, datagram []byte) *proto.Reply {
-	req, err := proto.UnmarshalRequest(datagram)
+// endpoint wraps one shard socket for a serve loop, applying the
+// test-injection hook when armed.
+func (w *Wizard) endpoint(conn *net.UDPConn) (netbatch.Endpoint, error) {
+	ep, err := netbatch.Wrap(conn, netbatch.Options{Batch: w.cfg.Batch, Obs: w.cfg.Obs})
 	if err != nil {
-		w.logf("wizard: dropping request: %v", err)
-		return nil
+		return nil, fmt.Errorf("wizard: %w", err)
 	}
-	reply := w.Answer(ctx, req)
+	if w.testWrap != nil {
+		return w.testWrap(ep), nil
+	}
+	return ep, nil
+}
+
+// handle processes one request datagram into the caller's scratch
+// request and reply. It is the serve loops' zero-alloc path: the
+// parsed Detail aliases the receive buffer (stable until the next
+// ReadBatch) and the reply struct is reused across datagrams. It
+// reports false when the datagram is undecodable and nothing should
+// be answered.
+func (w *Wizard) handle(ctx context.Context, datagram []byte, req *proto.Request, reply *proto.Reply) bool {
+	if err := proto.ParseRequest(datagram, req); err != nil {
+		w.logf("wizard: dropping request: %v", err)
+		return false
+	}
+	start := time.Now()
+	lat := w.answer(ctx, req, reply)
+	lat.Observe(int64(time.Since(start)))
 	w.handled.Add(1)
 	if reply.Err != "" {
 		w.rejected.Add(1)
 	}
-	return reply
+	return true
 }
 
 // Answer runs the full matching pipeline for one request and records
@@ -293,31 +397,36 @@ func (w *Wizard) handle(ctx context.Context, datagram []byte) *proto.Reply {
 // call from any number of goroutines.
 func (w *Wizard) Answer(ctx context.Context, req *proto.Request) *proto.Reply {
 	start := time.Now()
-	reply, lat := w.answer(ctx, req)
+	reply := new(proto.Reply)
+	lat := w.answer(ctx, req, reply)
 	lat.Observe(int64(time.Since(start)))
 	return reply
 }
 
-// answer is the pipeline body; it reports which latency histogram the
-// request's outcome belongs to so Answer can time the whole thing.
-func (w *Wizard) answer(ctx context.Context, req *proto.Request) (*proto.Reply, *obs.Histogram) {
-	reply := &proto.Reply{Seq: req.Seq}
-	fail := func(format string, args ...any) *proto.Reply {
+// answer is the pipeline body; it fills reply in place (resetting any
+// previous contents) and reports which latency histogram the
+// request's outcome belongs to so its caller can time the whole
+// thing. It never retains req.Detail, so the text may alias a
+// reusable receive buffer.
+func (w *Wizard) answer(ctx context.Context, req *proto.Request, reply *proto.Reply) *obs.Histogram {
+	*reply = proto.Reply{Seq: req.Seq}
+	fail := func(format string, args ...any) {
 		reply.Err = sanitize(fmt.Sprintf(format, args...))
-		return reply
 	}
 
 	detail := req.Detail
 	if req.Option&proto.OptTemplate != 0 {
 		tpl, ok := (*w.templates.Load())[detail]
 		if !ok {
-			return fail("unknown requirement template %q", detail), w.latParse
+			fail("unknown requirement template %q", detail)
+			return w.latParse
 		}
 		detail = tpl
 	}
 	prog, err := w.cache.Get(detail)
 	if err != nil {
-		return fail("parse requirement: %v", err), w.latParse
+		fail("parse requirement: %v", err)
+		return w.latParse
 	}
 	w.recordVars(prog.FreeVars())
 	if w.cfg.Update != nil {
@@ -330,19 +439,20 @@ func (w *Wizard) answer(ctx context.Context, req *proto.Request) (*proto.Reply, 
 	}
 	res, err := w.cfg.Selector.Select(prog, int(req.ServerNum), req.Option)
 	if err != nil {
+		fail("%v", err)
 		if res.StaleDropped > 0 {
 			// The shortfall came (at least partly) from records dropped
 			// as stale — the signature of a silent probe fleet, kept
 			// apart from ordinary "nothing qualifies" rejections.
-			return fail("%v", err), w.latStale
+			return w.latStale
 		}
-		return fail("%v", err), w.latRejected
+		return w.latRejected
 	}
 	reply.Servers = res.Servers
 	if res.Shortfall > 0 {
-		return reply, w.latPartial
+		return w.latPartial
 	}
-	return reply, w.latAnswered
+	return w.latAnswered
 }
 
 // sanitize strips newlines so error text survives the reply format.

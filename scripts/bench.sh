@@ -19,9 +19,12 @@ benchtime="${1:-2s}"
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "== go test -bench Wizard/Select (benchtime=$benchtime) =="
+echo "== go test -bench Wizard/Select (benchtime=$benchtime, count=3) =="
+# count=3 with best-of-three selection: the UDP storm rows ride the
+# scheduler of a shared runner, and the speedup gates below compare
+# two of them, so a single noisy run must not trip the schema bounds.
 go test -run=NONE -bench='WizardAnswer|WizardStorm|^BenchmarkSelect$|^BenchmarkSelectMemoized$' \
-	-benchtime="$benchtime" ./internal/wizard/ ./internal/core/ | tee "$out"
+	-benchtime="$benchtime" -count=3 ./internal/wizard/ ./internal/core/ | tee "$out"
 
 python3 - "$out" <<'EOF'
 import json, re, sys
@@ -36,7 +39,10 @@ for line in open(sys.argv[1]):
     for val, unit in re.findall(r'([\d.]+)\s+(B/op|allocs/op|req/s)', rest):
         key = {"B/op": "bytes_per_op", "allocs/op": "allocs_per_op", "req/s": "qps"}[unit]
         row[key] = float(val)
-    rows[name.removeprefix("Benchmark")] = row
+    name = name.removeprefix("Benchmark")
+    # Best of the -count repeats: fastest ns/op wins the row.
+    if name not in rows or row["ns_per_op"] < rows[name]["ns_per_op"]:
+        rows[name] = row
 
 doc = {
     "benchmarks": rows,
@@ -56,6 +62,22 @@ if storm:
         "answer_ns_vs_seed": round(22239.0 / rows["WizardAnswer/cached"]["ns_per_op"], 1)
             if "WizardAnswer/cached" in rows else None,
     }
+
+def storm_ratio(num, den):
+    n = rows.get(f"WizardStorm/{num}", {}).get("qps")
+    d = rows.get(f"WizardStorm/{den}", {}).get("qps")
+    if n is None or d is None:
+        return None
+    return round(n / d, 2)
+
+# The datagram-plane gates: windowed clients over 8 SO_REUSEPORT
+# shards with batched syscalls must beat the sequential cached loop
+# with margin, and 8 workers must never again land below it (the
+# pre-plane inversion). bench_schema.py enforces both bounds.
+doc.setdefault("speedup", {}).update({
+    "storm_sharded_vs_seq": storm_ratio("shards8-batched", "seq-cached"),
+    "storm_workers8_vs_seq": storm_ratio("workers8-cached", "seq-cached"),
+})
 
 with open("BENCH_wizard.json", "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
@@ -113,9 +135,12 @@ with open("BENCH_transport.json", "w") as f:
 print("wrote BENCH_transport.json")
 EOF
 
-echo "== go test -bench SelectScale (benchtime=$benchtime) =="
+echo "== go test -bench SelectScale (benchtime=$benchtime, count=3) =="
+# count=3 with best-of-three, like the wizard block: the unindexable
+# overhead gate compares two near-identical ~30ms rows, and a single
+# noisy run can push their ratio past its 5% bound.
 go test -run=NONE -bench='SelectScale' \
-	-benchtime="$benchtime" -timeout=45m ./internal/core/ | tee "$out"
+	-benchtime="$benchtime" -count=3 -timeout=45m ./internal/core/ | tee "$out"
 
 python3 - "$out" <<'EOF'
 import json, re, sys
@@ -131,7 +156,9 @@ for line in open(sys.argv[1]):
         key = {"B/op": "bytes_per_op", "allocs/op": "allocs_per_op",
                "evals/op": "evals_per_op"}[unit]
         row[key] = float(val)
-    rows[name.removeprefix("Benchmark")] = row
+    name = name.removeprefix("Benchmark")
+    if name not in rows or row["ns_per_op"] < rows[name]["ns_per_op"]:
+        rows[name] = row
 
 def ratio(num, den, field, digits=1):
     n = rows.get(f"SelectScale/{num}", {}).get(field)

@@ -17,14 +17,30 @@ import sys
 # top-level sections.
 SCHEMAS = {
     "BENCH_wizard.json": {
-        "sections": ["benchmarks", "seed_baseline"],
+        "sections": ["benchmarks", "seed_baseline", "speedup"],
         "benchmarks": {
             "WizardAnswer/cached": ["ns_per_op", "allocs_per_op"],
             "WizardAnswer/uncached": ["ns_per_op", "allocs_per_op"],
             "WizardStorm/seq-uncached": ["qps"],
+            "WizardStorm/seq-cached": ["qps"],
             "WizardStorm/workers8-cached": ["qps"],
+            "WizardStorm/shards8-batched": ["qps"],
             "Select": ["ns_per_op", "allocs_per_op"],
             "SelectMemoized": ["ns_per_op"],
+        },
+        # Datagram-plane acceptance bounds (best-of-three runs, see
+        # bench.sh): the windowed batched/sharded storm must beat the
+        # sequential cached loop with margin, and the 8-worker
+        # configuration must never regress below it again (it used to,
+        # when ping-pong clients starved the REUSEPORT shards).
+        "ratio_section": "speedup",
+        "ratios": [
+            "storm_sharded_vs_seq",
+            "storm_workers8_vs_seq",
+        ],
+        "ratio_bounds": {
+            "storm_sharded_vs_seq": (1.25, None),
+            "storm_workers8_vs_seq": (1.0, None),
         },
     },
     "BENCH_transport.json": {
@@ -91,6 +107,10 @@ OBS_SCHEMA = {
         "transport_recv_torn",
         "transport_recv_resyncs",
         "transport_recv_unknown_frames",
+        "wizard_reply_errors",
+        "netbatch_rx_syscalls",
+        "netbatch_tx_syscalls",
+        "netbatch_fallback",
     ],
     "gauges": [
         "store_wizard_ver",
@@ -107,6 +127,8 @@ OBS_SCHEMA = {
         "wizard_latency_stale_dropped",
         "wizard_latency_parse_error",
         "wizard_latency_rejected",
+        "wizard_recv_batch",
+        "wizard_send_batch",
     ],
 }
 
@@ -158,17 +180,23 @@ def check(path):
         for field in fields:
             if field not in row:
                 errs.append(f"{name}: {bench} lacks {field!r}")
-    for field in schema.get("reduction", []):
-        if field not in doc.get("reduction", {}):
-            errs.append(f"{name}: reduction lacks {field!r}")
-    for field, (lo, hi) in schema.get("reduction_bounds", {}).items():
-        val = doc.get("reduction", {}).get(field)
+    # Ratio keys live in a per-schema section ("reduction" for the
+    # transport/select files, "speedup" for the wizard file); bounds
+    # are acceptance gates, not just shape.
+    section = schema.get("ratio_section", "reduction")
+    ratios = schema.get("ratios", schema.get("reduction", []))
+    bounds = schema.get("ratio_bounds", schema.get("reduction_bounds", {}))
+    for field in ratios:
+        if field not in doc.get(section, {}):
+            errs.append(f"{name}: {section} lacks {field!r}")
+    for field, (lo, hi) in bounds.items():
+        val = doc.get(section, {}).get(field)
         if not isinstance(val, (int, float)):
             continue  # absence is reported above
         if lo is not None and val < lo:
-            errs.append(f"{name}: reduction {field} = {val} below bound {lo}")
+            errs.append(f"{name}: {section} {field} = {val} below bound {lo}")
         if hi is not None and val > hi:
-            errs.append(f"{name}: reduction {field} = {val} above bound {hi}")
+            errs.append(f"{name}: {section} {field} = {val} above bound {hi}")
     return errs
 
 

@@ -101,6 +101,13 @@ def main():
         errs.append("no wizard_latency_* histogram in the snapshot")
     elif sum(hists[n].get("count", 0) for n in lat) < 1:
         errs.append("latency histograms observed nothing for the smoke request")
+    # Datagram plane: the default wizardd flags arm batched syscalls,
+    # so the smoke request must flow through netbatch (a recvmmsg
+    # wakeup and a recv-batch observation), not a bypass path.
+    if snap.get("counters", {}).get("netbatch_rx_syscalls", 0) < 1:
+        errs.append("netbatch_rx_syscalls = 0: the smoke request bypassed the batched plane")
+    if hists.get("wizard_recv_batch", {}).get("count", 0) < 1:
+        errs.append("wizard_recv_batch observed no batches for the smoke request")
     for name in snap.get("counters", {}):
         if f"\n{name} " not in "\n" + text:
             errs.append(f"counter {name} absent from the plaintext dump")
