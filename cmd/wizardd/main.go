@@ -13,6 +13,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -22,6 +23,7 @@ import (
 
 	"smartsock/internal/core"
 	"smartsock/internal/obs"
+	"smartsock/internal/overload"
 	"smartsock/internal/store"
 	"smartsock/internal/transport"
 	"smartsock/internal/wizard"
@@ -45,7 +47,11 @@ func main() {
 		planAt      = flag.Int("plan-threshold", 0, "table size where the indexed selection planner takes over (0: default, <0: always full-scan)")
 		udpBatch    = flag.Int("udp-batch", 32, "request datagrams per socket syscall (recvmmsg/sendmmsg; 1: one syscall per datagram)")
 		shards      = flag.Int("shards", 1, "SO_REUSEPORT listener sockets for the request port (Linux; 1: single socket)")
-		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, unbatched unsharded socket, full-snapshot transport, no selection planner")
+		maxQueue    = flag.Int("max-queue", 1024, "per-shard ingress queue bound in requests (0: overload protection off)")
+		codelTarget = flag.Duration("codel-target", 5*time.Millisecond, "CoDel sojourn-time target for shedding queued requests")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-source admitted requests/sec (0: no per-source limit)")
+		rateBurst   = flag.Int("rate-burst", 0, "per-source token-bucket burst (0: 2x rate-limit, at least 8)")
+		compat      = flag.Bool("compat", false, "thesis-faithful mode: sequential serving, no requirement cache, unbatched unsharded socket, full-snapshot transport, no selection planner, no overload protection")
 		debugAddr   = flag.String("debug", "", "HTTP metrics endpoint address, e.g. 127.0.0.1:6060 (empty: disabled)")
 		pulls       addrList
 	)
@@ -73,6 +79,22 @@ func main() {
 	}
 	db.RegisterObs(reg, "wizard")
 
+	if *compat {
+		// The overload half of -compat: the thesis wizard never sheds —
+		// every request waits its turn in the kernel socket buffer.
+		*maxQueue = 0
+		*rateLimit = 0
+	}
+	// Built unconditionally (even when disabled) so the overload_*
+	// metrics always exist on the debug endpoint.
+	gate := overload.New(overload.Config{
+		MaxQueue: *maxQueue,
+		Target:   *codelTarget,
+		Rate:     *rateLimit,
+		Burst:    *rateBurst,
+		Obs:      reg,
+	})
+
 	recv, err := transport.NewReceiverObs(db, *recvListen, logger, reg)
 	if err != nil {
 		logger.Fatal(err)
@@ -80,6 +102,9 @@ func main() {
 	// The transport half of -compat: thesis pull protocol, whole-table
 	// loads. Set before the update hook captures the receiver.
 	recv.Compat = *compat
+	// Transport frames carry the data the wizard answers from; they are
+	// priority traffic and bypass shedding (audited via overload_bypass).
+	recv.Overload = gate
 	var update wizard.UpdateFunc
 	if len(pulls) > 0 {
 		targets := []string(pulls)
@@ -145,13 +170,21 @@ func main() {
 		CacheSize: *cacheSize,
 		Batch:     *udpBatch,
 		Shards:    *shards,
+		Overload:  gate,
 		Obs:       reg,
 	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("wizard on %s (%d worker(s), %d shard(s), batch %d)",
-		wz.Addr(), max(*workers, 1), wz.Shards(), *udpBatch)
+	mode := "overload protection off"
+	if gate.Enabled() {
+		mode = fmt.Sprintf("max-queue %d, codel-target %v", *maxQueue, *codelTarget)
+		if *rateLimit > 0 {
+			mode += fmt.Sprintf(", rate-limit %g/s", *rateLimit)
+		}
+	}
+	logger.Printf("wizard on %s (%d worker(s), %d shard(s), batch %d; %s)",
+		wz.Addr(), max(*workers, 1), wz.Shards(), *udpBatch, mode)
 	go wz.Run(ctx)
 	<-ctx.Done()
 }

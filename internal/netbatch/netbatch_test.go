@@ -345,3 +345,31 @@ func keys(m map[string][]string) []string {
 	sort.Strings(out)
 	return out
 }
+
+func TestHandoffTransfersBuffer(t *testing.T) {
+	ring := Message{
+		Buf:  []byte("datagram")[:8],
+		Addr: netip.MustParseAddrPort("10.0.0.1:99"),
+	}
+	orig := &ring.Buf[0]
+	fresh := make([]byte, 4, 64)
+
+	out := Handoff(&ring, fresh)
+
+	// The caller got the received datagram: same backing array, same
+	// length reslice, same source.
+	if &out.Buf[0] != orig || string(out.Buf) != "datagram" {
+		t.Fatalf("handoff did not transfer the received buffer")
+	}
+	if out.Addr != netip.MustParseAddrPort("10.0.0.1:99") {
+		t.Fatalf("handoff lost the source address: %v", out.Addr)
+	}
+	// The ring slot is ready for the next read: fresh buffer at full
+	// capacity, address cleared.
+	if &ring.Buf[0] != &fresh[0] || len(ring.Buf) != cap(fresh) {
+		t.Fatalf("ring slot not reset: len %d, cap %d", len(ring.Buf), cap(fresh))
+	}
+	if ring.Addr.IsValid() {
+		t.Fatalf("ring slot address not cleared: %v", ring.Addr)
+	}
+}

@@ -108,6 +108,22 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum reports the running total of observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Snapshot renders the histogram to plain values — the per-histogram
+// form of Registry.Snapshot, for callers (benches, tests) that hold
+// the histogram itself.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
 // LatencyBuckets are the default request-latency bounds in
 // nanoseconds: 1µs to 1s, roughly ×5 per step. The wizard's answer
 // path sits in the low microseconds when memoized and the low
@@ -130,6 +146,17 @@ var LagBuckets = []int64{0, 1, 4, 16, 64, 256, 1024, 4096}
 // histogram whose mass sits at 1 means batching is configured but the
 // traffic never queues deep enough to amortise a syscall.
 var BatchBuckets = []int64{1, 2, 4, 8, 16, 32, 64}
+
+// QueueDelayBuckets are the default ingress-sojourn bounds in
+// nanoseconds for the overload plane: dense around the CoDel target
+// region (1–50ms) so the p99 the bench gates bound falls in a
+// measured bucket, with a tail out to a second for the unprotected
+// collapse curve.
+var QueueDelayBuckets = []int64{
+	100_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 20_000_000, 50_000_000, 100_000_000,
+	250_000_000, 1_000_000_000,
+}
 
 // Registry is a namespace of metrics. The zero value is not usable;
 // call NewRegistry. All methods are safe for concurrent use, and all
@@ -223,6 +250,36 @@ type HistogramSnapshot struct {
 	Count  uint64   `json:"count"`
 }
 
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket
+// counts: the upper bound of the bucket where the cumulative count
+// crosses q×total. Values landing in the overflow bucket report twice
+// the last bound — a deliberately conservative over-estimate, since
+// the histogram cannot see how far past the last bound they went. An
+// empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.Bounds) == 0 {
+		return h.Sum / int64(h.Count)
+	}
+	return 2 * h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is the whole registry rendered to plain maps, the unit the
 // debug endpoint serves and experiments record next to BENCH numbers.
 // Function gauges are evaluated into Gauges alongside the set ones.
@@ -274,16 +331,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[n] = fn()
 	}
 	for n, h := range hists {
-		hs := HistogramSnapshot{
-			Bounds: h.bounds,
-			Counts: make([]uint64, len(h.buckets)),
-			Sum:    h.Sum(),
-			Count:  h.Count(),
-		}
-		for i := range h.buckets {
-			hs.Counts[i] = h.buckets[i].Load()
-		}
-		s.Histograms[n] = hs
+		s.Histograms[n] = h.Snapshot()
 	}
 	return s
 }

@@ -225,3 +225,67 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Fatalf("shared counter = %d, want %d", got, 8*200)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	// 50 obs ≤10, 30 in (10,100], 15 in (100,1000], 5 overflow.
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 15; i++ {
+		h.Observe(500)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(5000)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.25, 10},   // rank 25 lands in the first bucket
+		{0.50, 10},   // rank 50 is the last ≤10 observation
+		{0.51, 100},  // rank 51 crosses into (10,100]
+		{0.80, 100},  // rank 80 is the last ≤100 observation
+		{0.95, 1000}, // rank 95 is the last ≤1000 observation
+		{0.99, 2000}, // overflow: estimated at 2× the last bound
+		{1.00, 2000},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: no data, quantile is 0.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	h := NewHistogram([]int64{10})
+	h.Observe(3)
+	s := h.Snapshot()
+	// Tiny q still returns the first occupied bucket (rank floors to 1).
+	if got := s.Quantile(0.001); got != 10 {
+		t.Fatalf("Quantile(0.001) = %d, want 10", got)
+	}
+	// Bound-less histogram falls back to the mean.
+	h0 := NewHistogram(nil)
+	h0.Observe(4)
+	h0.Observe(8)
+	if got := h0.Snapshot().Quantile(0.99); got != 6 {
+		t.Fatalf("bound-less Quantile = %d, want mean 6", got)
+	}
+}
+
+func TestQueueDelayBucketsSorted(t *testing.T) {
+	for i := 1; i < len(QueueDelayBuckets); i++ {
+		if QueueDelayBuckets[i] <= QueueDelayBuckets[i-1] {
+			t.Fatalf("QueueDelayBuckets not strictly increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package overload
+
+import (
+	"container/list"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// limiter is a per-source token-bucket table over an LRU of recent
+// sources. Keys are full address:port pairs, not bare hosts: one
+// runaway process is one socket, and host-level keying would let it
+// take down every well-behaved client behind the same NAT.
+//
+// One mutex guards the table. The critical section is a map lookup,
+// a float update and a list splice — tens of nanoseconds — which is
+// noise against the per-datagram syscall cost even at storm rates;
+// shard-local tables would only matter once the limiter itself shows
+// up in profiles.
+type limiter struct {
+	mu    sync.Mutex
+	rate  float64 // tokens earned per second
+	burst float64 // bucket capacity
+	cap   int     // most sources tracked
+	m     map[netip.AddrPort]*list.Element
+	lru   *list.List // front = most recently seen
+}
+
+// bucket is one source's state.
+type bucket struct {
+	src    netip.AddrPort
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64, capacity int) *limiter {
+	return &limiter{
+		rate:  rate,
+		burst: burst,
+		cap:   capacity,
+		m:     make(map[netip.AddrPort]*list.Element, capacity),
+		lru:   list.New(),
+	}
+}
+
+// allow spends one token from src's bucket, refilling by elapsed time
+// first. A source seen for the first time (or evicted and returned)
+// starts with a full bucket.
+func (l *limiter) allow(src netip.AddrPort, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.m[src]
+	if !ok {
+		if l.lru.Len() >= l.cap {
+			// Evict the coldest source. A runaway source is by
+			// definition hot, so eviction forgets only the harmless.
+			oldest := l.lru.Back()
+			delete(l.m, oldest.Value.(*bucket).src)
+			l.lru.Remove(oldest)
+		}
+		b := &bucket{src: src, tokens: l.burst, last: now}
+		l.m[src] = l.lru.PushFront(b)
+		b.tokens--
+		return true
+	}
+	l.lru.MoveToFront(e)
+	b := e.Value.(*bucket)
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sources reports how many distinct sources are currently tracked.
+func (l *limiter) sources() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lru.Len()
+}

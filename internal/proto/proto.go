@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"time"
 	"unsafe"
 )
 
@@ -56,6 +57,39 @@ const (
 	msgRequest = 0x51 // 'Q'
 	msgReply   = 0x52 // 'R'
 )
+
+// overloadedPrefix is the canonical shed-reply error text. The
+// retry-after hint rides inside the existing Err field rather than a
+// new wire field, so old clients still see an ordinary rejection and
+// the reply format (and its golden frames) is untouched.
+const overloadedPrefix = "overloaded, retry-after="
+
+// OverloadedErr builds the reply error text the wizard's admission
+// plane sends for a shed request: a machine-parseable retry-after
+// hint that tells the client how long to back off before resending.
+// Sub-millisecond fractions are rounded away so the text stays short
+// and stable.
+func OverloadedErr(retryAfter time.Duration) string {
+	if retryAfter < time.Millisecond {
+		retryAfter = time.Millisecond
+	}
+	return overloadedPrefix + retryAfter.Round(time.Millisecond).String()
+}
+
+// RetryAfter extracts the backoff hint from a reply's error text.
+// ok is false when the text is not an overload rejection; a mangled
+// duration also reports false, so callers can never honor garbage.
+func RetryAfter(errText string) (time.Duration, bool) {
+	rest, found := strings.CutPrefix(errText, overloadedPrefix)
+	if !found {
+		return 0, false
+	}
+	d, err := time.ParseDuration(rest)
+	if err != nil || d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
 
 // MarshalRequest encodes a request datagram.
 func MarshalRequest(r *Request) []byte {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -154,5 +155,64 @@ func TestUnmarshalReplyRejectsCountMismatch(t *testing.T) {
 	b[6] = 3
 	if _, err := UnmarshalReply(b); err == nil {
 		t.Error("UnmarshalReply accepted a count mismatch")
+	}
+}
+
+func TestOverloadedErrRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{100 * time.Millisecond, 100 * time.Millisecond},
+		{1500 * time.Millisecond, 1500 * time.Millisecond},
+		{1 * time.Millisecond, 1 * time.Millisecond},
+		// Sub-millisecond hints floor at 1ms: a client cannot usefully
+		// act on a finer retry interval.
+		{100 * time.Microsecond, 1 * time.Millisecond},
+		{0, 1 * time.Millisecond},
+	}
+	for _, c := range cases {
+		text := OverloadedErr(c.in)
+		after, ok := RetryAfter(text)
+		if !ok {
+			t.Fatalf("RetryAfter(%q) not recognised", text)
+		}
+		if after != c.want {
+			t.Fatalf("RetryAfter(OverloadedErr(%v)) = %v, want %v", c.in, after, c.want)
+		}
+	}
+}
+
+func TestRetryAfterRejectsOtherErrors(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"no server satisfies the requirement",
+		"overloaded",
+		"overloaded, retry-after=",
+		"overloaded, retry-after=bogus",
+		"overloaded, retry-after=-5ms",
+		"overloaded, retry-after=0s",
+	} {
+		if after, ok := RetryAfter(text); ok {
+			t.Fatalf("RetryAfter(%q) = %v, want no hint", text, after)
+		}
+	}
+}
+
+func TestOverloadedErrSurvivesReplyEncoding(t *testing.T) {
+	// The hint rides inside the normal Err field: encode and decode a
+	// reply carrying it and check the hint survives the wire.
+	r := &Reply{Seq: 42, Err: OverloadedErr(250 * time.Millisecond)}
+	wire, err := MarshalReply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReply(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, ok := RetryAfter(got.Err)
+	if !ok || after != 250*time.Millisecond {
+		t.Fatalf("hint did not survive the wire: %q → %v/%v", got.Err, after, ok)
 	}
 }

@@ -86,6 +86,20 @@ func (b *Backoff) Next() time.Duration {
 	return d
 }
 
+// NextAtLeast advances the schedule like Next but never returns less
+// than floor — the hook for honoring a server-supplied retry-after
+// hint (proto.RetryAfter on an overloaded wizard reply). The
+// exponential schedule still advances underneath, so a client that
+// keeps hitting an overloaded server backs off past the hint rather
+// than retrying at a fixed rate forever.
+func (b *Backoff) NextAtLeast(floor time.Duration) time.Duration {
+	d := b.Next()
+	if d < floor {
+		return floor
+	}
+	return d
+}
+
 // Reset restarts the schedule after a success.
 func (b *Backoff) Reset() {
 	b.mu.Lock()

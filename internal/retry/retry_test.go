@@ -63,3 +63,25 @@ func TestDefaultMaxIsBounded(t *testing.T) {
 		t.Fatalf("default cap gave %v, want 16×base = 160ms", last)
 	}
 }
+
+func TestNextAtLeastEnforcesFloor(t *testing.T) {
+	b := noJitter(&Backoff{Base: 10 * time.Millisecond, Max: time.Second})
+	// First wait would be 10ms; a 100ms server hint must win.
+	if got := b.NextAtLeast(100 * time.Millisecond); got != 100*time.Millisecond {
+		t.Fatalf("NextAtLeast(100ms) = %v, want 100ms", got)
+	}
+	// The schedule still advanced: the next plain wait is 20ms.
+	if got := b.Next(); got != 20*time.Millisecond {
+		t.Fatalf("Next after NextAtLeast = %v, want 20ms", got)
+	}
+	// Once the schedule exceeds the floor, the schedule wins.
+	b2 := noJitter(&Backoff{Base: 300 * time.Millisecond, Max: time.Second})
+	if got := b2.NextAtLeast(100 * time.Millisecond); got != 300*time.Millisecond {
+		t.Fatalf("NextAtLeast(100ms) with 300ms schedule = %v, want 300ms", got)
+	}
+	// A zero floor is a plain Next.
+	b3 := noJitter(&Backoff{Base: 40 * time.Millisecond})
+	if got := b3.NextAtLeast(0); got != 40*time.Millisecond {
+		t.Fatalf("NextAtLeast(0) = %v, want 40ms", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"smartsock/internal/monitor"
 	"smartsock/internal/netmon"
 	"smartsock/internal/obs"
+	"smartsock/internal/overload"
 	"smartsock/internal/probe"
 	"smartsock/internal/secmon"
 	"smartsock/internal/simnet"
@@ -132,6 +133,11 @@ type Options struct {
 	// thesis-fidelity wire mode: a full three-frame snapshot every
 	// epoch (or pull), no deltas, no snap marks.
 	TransportCompat bool
+	// Overload, when set, threads an admission-control gate through
+	// the wizard's serve path and the receiver's bypass accounting —
+	// the same wiring wizardd does from its -max-queue/-rate-limit
+	// flags. Nil (or a disabled gate) keeps the unprotected path.
+	Overload *overload.Gate
 	// Obs, when set, registers every component's metrics (transport,
 	// monitor, wizard, selector, both databases) in one registry, the
 	// same wiring the daemons use under -debug. Nil detaches them.
@@ -167,6 +173,18 @@ type Cluster struct {
 
 	hostMu     sync.Mutex
 	hostCancel map[string]context.CancelFunc // nil entry = crashed host
+
+	wg sync.WaitGroup // every component goroutine; Close waits on it
+}
+
+// spawn runs fn on a tracked goroutine so Close can wait for every
+// component to actually exit, not just be told to.
+func (c *Cluster) spawn(fn func()) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		fn()
+	}()
 }
 
 // Boot assembles and starts the full pipeline.
@@ -222,7 +240,7 @@ func Boot(opts Options) (*Cluster, error) {
 		return fail(err)
 	}
 	c.sysMonitor = sysMon
-	go sysMon.Run(ctx)
+	c.spawn(func() { _ = sysMon.Run(ctx) })
 	for _, m := range machines {
 		src := sysinfo.NewSynthetic(sysinfo.Idle(m.Name, m.Bogomips, m.RAMMB))
 		c.Sources[m.Name] = src
@@ -248,7 +266,7 @@ func Boot(opts Options) (*Cluster, error) {
 			return fail(err)
 		}
 		c.NetMon = nm
-		go nm.Run(ctx)
+		c.spawn(func() { _ = nm.Run(ctx) })
 	}
 
 	// Security monitor (§3.4).
@@ -266,7 +284,7 @@ func Boot(opts Options) (*Cluster, error) {
 	if err != nil {
 		return fail(err)
 	}
-	go sm.Run(ctx)
+	c.spawn(func() { _ = sm.Run(ctx) })
 
 	// Transmitter → receiver (§3.5), then the wizard (§3.6).
 	tx, err := transport.NewTransmitterObs(c.DB, nil, opts.Obs)
@@ -279,6 +297,7 @@ func Boot(opts Options) (*Cluster, error) {
 	}
 	tx.Compat = opts.TransportCompat
 	recv.Compat = opts.TransportCompat
+	recv.Overload = opts.Overload
 	c.Tx, c.Recv = tx, recv
 	if in := opts.TxFaults; in != nil {
 		streamDial := func(network, addr string) (net.Conn, error) {
@@ -297,14 +316,14 @@ func Boot(opts Options) (*Cluster, error) {
 		if err != nil {
 			return fail(err)
 		}
-		go tx.ServePassive(ctx, ln)
+		c.spawn(func() { _ = tx.ServePassive(ctx, ln) })
 		txAddr := ln.Addr().String()
 		update = func(context.Context) error {
 			return recv.PullFrom([]string{txAddr}, 2*time.Second)
 		}
 	} else {
-		go recv.Run(ctx)
-		go tx.RunActive(ctx, recv.Addr(), opts.ProbeInterval)
+		c.spawn(func() { _ = recv.Run(ctx) })
+		c.spawn(func() { _ = tx.RunActive(ctx, recv.Addr(), opts.ProbeInterval) })
 	}
 
 	groupOf := func(host string) string {
@@ -328,13 +347,14 @@ func Boot(opts Options) (*Cluster, error) {
 		Update:    update,
 		Workers:   opts.WizardWorkers,
 		CacheSize: opts.WizardCacheSize,
+		Overload:  opts.Overload,
 		Obs:       opts.Obs,
 	})
 	if err != nil {
 		return fail(err)
 	}
 	c.wizard = wz
-	go wz.Run(ctx)
+	c.spawn(func() { _ = wz.Run(ctx) })
 	return c, nil
 }
 
@@ -359,7 +379,7 @@ func (c *Cluster) startProbe(name string) error {
 	c.hostMu.Lock()
 	c.hostCancel[name] = hostCancel
 	c.hostMu.Unlock()
-	go p.Run(hostCtx)
+	c.spawn(func() { _ = p.Run(hostCtx) })
 	return nil
 }
 
@@ -410,8 +430,16 @@ func (c *Cluster) MonitorAddr() string { return c.sysMonitor.Addr() }
 // its report/expiry counters against the obs registry.
 func (c *Cluster) Monitor() *monitor.Monitor { return c.sysMonitor }
 
-// Close stops every component.
-func (c *Cluster) Close() { c.cancel() }
+// Close stops every component and waits for their goroutines to
+// exit. The wait matters to whoever runs next: a cluster's seven-odd
+// probers tick on millisecond intervals, and letting them wind down
+// asynchronously leaks that timer load into the next experiment's
+// measurements (which is exactly how the timing-model comparisons
+// went flaky under -shuffle).
+func (c *Cluster) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
 
 // WaitSettled blocks until the wizard-side database holds n server
 // records (and, when a netmon runs, at least one probe round is

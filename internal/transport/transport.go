@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"smartsock/internal/obs"
+	"smartsock/internal/overload"
 	"smartsock/internal/retry"
 	"smartsock/internal/status"
 	"smartsock/internal/store"
@@ -444,6 +445,15 @@ type Receiver struct {
 	// Dial opens distributed-mode pull connections; nil means
 	// net.DialTimeout. The chaos layer wraps faults around it.
 	Dial func(network, addr string) (net.Conn, error)
+
+	// Overload, when set, registers every applied frame as a priority
+	// bypass admission on the wizard's overload gate. Status
+	// distribution is never queued behind and never shed with client
+	// request traffic — the priority invariant the admission plane
+	// promises — and this counter is its audit trail: overload_bypass
+	// must reconcile with transport_recv_frames. Set before Run or the
+	// first pull; nil skips the accounting.
+	Overload *overload.Gate
 }
 
 // sourceLag is the epoch-lag pair for one transmitter: the newest
@@ -542,6 +552,15 @@ func (r *Receiver) Addr() string { return r.ln.Addr().String() }
 
 // Received reports how many frames have been applied.
 func (r *Receiver) Received() uint64 { return r.received.Value() }
+
+// admitted counts n applied frames and mirrors them onto the overload
+// gate's bypass counter: status frames are priority traffic the
+// admission plane may never shed, and keeping the two counters in
+// lockstep here is what lets the chaos obs suite reconcile them.
+func (r *Receiver) admitted(n int) {
+	r.received.Add(uint64(n))
+	r.Overload.Bypass(n)
+}
 
 // Torn reports how many transmitter connections ended mid-frame — a
 // header or payload truncated by a crash, reset or stalled-then-cut
@@ -702,7 +721,7 @@ func (r *Receiver) apply(f status.Frame, cs *connState) error {
 		// stream's version (a no-op re-set on snap marks).
 		cs.lag.applied.Set(int64(cs.ver))
 	}
-	r.received.Add(1)
+	r.admitted(1)
 	return nil
 }
 
@@ -935,7 +954,7 @@ func (r *Receiver) applyPull(addr string, base uint64, reply *pullReply) error {
 		// pulls) can linger here until MaxStatusAge ages them out; see
 		// DESIGN.md "status distribution" for the trade-off.
 		r.db.Merge(reply.sys, reply.net, reply.sec)
-		r.received.Add(3)
+		r.admitted(3)
 	case reply.delta:
 		if !haveCur || !cur.synced || cur.ver != base {
 			// The base this delta was computed against is no longer
@@ -949,7 +968,7 @@ func (r *Receiver) applyPull(addr string, base uint64, reply *pullReply) error {
 		r.db.ApplyNetDelta(reply.netV.Changed, reply.netV.Deleted, reply.netV.Refreshed)
 		r.db.ApplySecDelta(reply.secV.Changed, reply.secV.Deleted, reply.secV.Refreshed)
 		r.catchup.Observe(int64(reply.ver - base))
-		r.received.Add(1)
+		r.admitted(1)
 	default:
 		// An empty reply: the transmitter had nothing newer. Leave the
 		// mirrored version untouched — head and applied agree.
@@ -985,7 +1004,7 @@ func (r *Receiver) pullFromCompat(transmitters []string, timeout time.Duration) 
 	}
 	if merged.any {
 		r.db.Load(merged.sys, merged.net, merged.sec)
-		r.received.Add(3)
+		r.admitted(3)
 		return nil
 	}
 	if firstErr != nil {

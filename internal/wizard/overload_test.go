@@ -1,0 +1,354 @@
+package wizard
+
+// Burst-survival regression suite for the overload-protected serve
+// path: a 4× storm through the sharded listener must degrade into
+// explicit "overloaded, retry-after" sheds instead of silent loss or
+// collapse, and the per-source rate limiter must isolate a runaway
+// client without punishing well-behaved ones.
+
+import (
+	"context"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartsock/internal/overload"
+	"smartsock/internal/proto"
+)
+
+// slowUpdate caps the wizard's capacity: each answered request pays
+// one call, so workers×(1/delay) is the service rate and an unpaced
+// loopback storm is comfortably past 4× of it.
+func slowUpdate(delay time.Duration) UpdateFunc {
+	return func(context.Context) error {
+		time.Sleep(delay)
+		return nil
+	}
+}
+
+// stormCounts classifies the replies one open-loop storm socket got.
+type stormCounts struct {
+	answered   uint64 // normal replies (including ordinary errors)
+	shed       uint64 // "overloaded, retry-after" replies
+	badHint    uint64 // shed replies whose hint is missing or wrong
+	wrongDecod uint64 // undecodable reply datagrams
+}
+
+// stormSocket blasts n requests open-loop (no waiting between sends)
+// from its own socket and drains replies until none arrive for
+// drainIdle. Sequence numbers start at base so sockets never collide.
+func stormSocket(t *testing.T, addr string, base uint32, n int, wantHint time.Duration, drainIdle time.Duration) stormCounts {
+	t.Helper()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var counts stormCounts
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64*1024)
+		for {
+			if err := conn.SetReadDeadline(time.Now().Add(drainIdle)); err != nil {
+				return
+			}
+			m, err := conn.Read(buf)
+			if err != nil {
+				return // idle long enough: the storm's replies are drained
+			}
+			reply, err := proto.UnmarshalReply(buf[:m])
+			if err != nil {
+				atomic.AddUint64(&counts.wrongDecod, 1)
+				continue
+			}
+			if after, ok := proto.RetryAfter(reply.Err); ok {
+				atomic.AddUint64(&counts.shed, 1)
+				if after != wantHint {
+					atomic.AddUint64(&counts.badHint, 1)
+				}
+				continue
+			}
+			atomic.AddUint64(&counts.answered, 1)
+		}
+	}()
+
+	req := &proto.Request{ServerNum: 1, Detail: "host_cpu_bogomips > 4000"}
+	for i := 0; i < n; i++ {
+		req.Seq = base + uint32(i)
+		if _, err := conn.Write(proto.MarshalRequest(req)); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	wg.Wait()
+	return counts
+}
+
+// TestOverloadBurstSurvival is the fixed-shape 4× storm: capacity is
+// pinned by a slow per-request update, the storm is open-loop and
+// well past it, and survival means (a) the wizard keeps answering,
+// (b) the excess surfaces as explicit shed replies, every one
+// carrying the configured retry-after hint, and (c) nothing deadlocks
+// or leaks under -race.
+func TestOverloadBurstSurvival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm test")
+	}
+	sel, _ := testSelector(t)
+	gate := overload.New(overload.Config{
+		MaxQueue: 64,
+		Target:   2 * time.Millisecond,
+		Interval: 20 * time.Millisecond,
+	})
+	w := startWizard(t, Config{
+		Selector: sel,
+		Update:   slowUpdate(200 * time.Microsecond), // ≈20k req/s ceiling
+		Workers:  4, Batch: 16, Shards: 4,
+		Overload: gate,
+	})
+
+	// 8 sockets × 500 unpaced requests ≫ 4× the pinned capacity.
+	const sockets, perSocket = 8, 500
+	var wg sync.WaitGroup
+	results := make([]stormCounts, sockets)
+	for s := 0; s < sockets; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = stormSocket(t, w.Addr(), uint32(s*perSocket), perSocket,
+				gate.RetryAfter(), 300*time.Millisecond)
+		}(s)
+	}
+	wg.Wait()
+
+	var total stormCounts
+	for _, c := range results {
+		total.answered += c.answered
+		total.shed += c.shed
+		total.badHint += c.badHint
+		total.wrongDecod += c.wrongDecod
+	}
+	if total.answered == 0 {
+		t.Error("storm starved every request: no normal replies at all")
+	}
+	if total.shed == 0 {
+		t.Errorf("4x storm produced no shed replies (answered %d)", total.answered)
+	}
+	if total.badHint != 0 {
+		t.Errorf("%d shed replies carried a missing or wrong retry-after hint (want %v)",
+			total.badHint, gate.RetryAfter())
+	}
+	if total.wrongDecod != 0 {
+		t.Errorf("%d reply datagrams did not decode", total.wrongDecod)
+	}
+	if gate.Shed() == 0 {
+		t.Error("overload_shed stayed zero through a 4x storm")
+	}
+	if got := total.shed; uint64(gate.Shed()) < got {
+		t.Errorf("overload_shed = %d, but clients saw %d shed replies", gate.Shed(), got)
+	}
+}
+
+// TestOverloadHotSourceIsolation pins the rate limiter's fairness
+// story: one runaway source blasting open-loop is clamped to its
+// token bucket while seven well-behaved sources, paced under their
+// per-source rate, see (almost) no drops — the hot source cannot
+// spend the cold sources' budget.
+func TestOverloadHotSourceIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm test")
+	}
+	sel, _ := testSelector(t)
+	gate := overload.New(overload.Config{
+		MaxQueue: 512,
+		Rate:     300, // per-source requests/sec
+		Burst:    40,
+	})
+	w := startWizard(t, Config{
+		Selector: sel,
+		Workers:  4, Batch: 16, Shards: 4,
+		Overload: gate,
+	})
+
+	var wg sync.WaitGroup
+	var hot stormCounts
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hot = stormSocket(t, w.Addr(), 1_000_000, 3000, gate.RetryAfter(), 300*time.Millisecond)
+	}()
+
+	// Cold sources: 7 sockets, each pacing 40 requests at 5ms (200/s,
+	// under both the 300/s rate and the 40-token burst). A drop is a
+	// shed reply or no reply at all within the deadline.
+	const coldSources, coldRequests = 7, 40
+	var coldDrops, coldSent atomic.Uint64
+	for s := 0; s < coldSources; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", w.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 64*1024)
+			req := &proto.Request{ServerNum: 1, Detail: "host_cpu_bogomips > 4000"}
+			for i := 0; i < coldRequests; i++ {
+				req.Seq = uint32(2_000_000 + s*coldRequests + i)
+				coldSent.Add(1)
+				if _, err := conn.Write(proto.MarshalRequest(req)); err != nil {
+					t.Error(err)
+					return
+				}
+				dropped := true
+				deadline := time.Now().Add(time.Second)
+				for time.Now().Before(deadline) {
+					if err := conn.SetReadDeadline(deadline); err != nil {
+						break
+					}
+					m, err := conn.Read(buf)
+					if err != nil {
+						break
+					}
+					reply, err := proto.UnmarshalReply(buf[:m])
+					if err != nil || reply.Seq != req.Seq {
+						continue
+					}
+					if _, shed := proto.RetryAfter(reply.Err); !shed {
+						dropped = false
+					}
+					break
+				}
+				if dropped {
+					coldDrops.Add(1)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	if gate.RateLimited() == 0 {
+		t.Error("hot source never tripped the per-source limiter")
+	}
+	if hot.shed == 0 {
+		t.Error("hot source saw no shed replies")
+	}
+	if hot.badHint != 0 {
+		t.Errorf("%d hot-source shed replies carried a bad retry-after hint", hot.badHint)
+	}
+	// The isolation bound: cold sources lose under 1% of their
+	// requests while the hot source is being clamped next to them.
+	sent, drops := coldSent.Load(), coldDrops.Load()
+	if drops*100 >= sent {
+		t.Errorf("cold sources dropped %d of %d requests (≥1%%); hot source not isolated",
+			drops, sent)
+	}
+}
+
+// TestOverloadSoak is the nightly goroutine-leak soak: run a 4× storm
+// against the protected wizard for OVERLOAD_SOAK (a duration), then
+// tear everything down and require the goroutine count to return to
+// its pre-test baseline. Skipped unless OVERLOAD_SOAK is set — CI's
+// nightly workflow runs it at 60s.
+func TestOverloadSoak(t *testing.T) {
+	durText := os.Getenv("OVERLOAD_SOAK")
+	if durText == "" {
+		t.Skip("set OVERLOAD_SOAK=60s to run the soak")
+	}
+	dur, err := time.ParseDuration(durText)
+	if err != nil {
+		t.Fatalf("bad OVERLOAD_SOAK %q: %v", durText, err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	sel, _ := testSelector(t)
+	gate := overload.New(overload.Config{
+		MaxQueue: 64,
+		Rate:     5000,
+	})
+	w, err := New(Config{
+		Addr:     "127.0.0.1:0",
+		Selector: sel,
+		Update:   slowUpdate(100 * time.Microsecond),
+		Workers:  4, Batch: 16, Shards: 4,
+		Overload: gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := w.Run(ctx); err != nil {
+			t.Errorf("wizard run: %v", err)
+		}
+	}()
+
+	stop := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", w.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			go func() { // drain replies so the socket buffer never wedges
+				buf := make([]byte, 64*1024)
+				for {
+					if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+						return
+					}
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			req := &proto.Request{ServerNum: 1, Detail: "host_cpu_bogomips > 4000"}
+			for i := uint32(0); time.Now().Before(stop); i++ {
+				req.Seq = uint32(s)<<24 | i
+				if _, err := conn.Write(proto.MarshalRequest(req)); err != nil {
+					return
+				}
+				if i%64 == 0 {
+					time.Sleep(time.Millisecond) // ~4× capacity, not ∞×
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	cancel()
+	<-done
+
+	// Goroutine growth check: storm goroutines, serve loops and reply
+	// drainers must all be gone. Allow a little slack for runtime
+	// housekeeping, and give stragglers time to park.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			t.Logf("soak done: %v at ~4x capacity, shed %d, ratelimited %d, goroutines %d→%d",
+				dur, gate.Shed(), gate.RateLimited(), baseline, n)
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines grew %d→%d after soak teardown\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/netip"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,7 @@ import (
 	"smartsock/internal/core"
 	"smartsock/internal/netbatch"
 	"smartsock/internal/obs"
+	"smartsock/internal/overload"
 	"smartsock/internal/proto"
 	"smartsock/internal/reqlang"
 )
@@ -86,6 +88,21 @@ type Config struct {
 	// and 1 bind a single socket. Off Linux the setting degrades to
 	// one socket (counted by netbatch_fallback).
 	Shards int
+	// Overload, when enabled, arms the admission-control plane
+	// (internal/overload): each shard's receive ring hands datagrams to
+	// a bounded ingress queue, workers drain the queues under a CoDel
+	// controller that sheds persistent standing queues with "overloaded,
+	// retry-after" replies, and a per-source token bucket fends off
+	// runaway clients before they occupy queue space. Nil or disabled
+	// (MaxQueue 0, the wizardd -compat pin) keeps the historical direct
+	// serve loops: no queue, no shedding, kernel socket buffers as the
+	// only backpressure.
+	Overload *overload.Gate
+	// RecvBuf, when positive, asks the kernel for that many bytes of
+	// receive buffer on every shard socket (SetReadBuffer). Overload
+	// benches raise it so the unprotected configuration's collapse is
+	// the user-visible queue growth, not silent kernel drops.
+	RecvBuf int
 	// Obs, when set, registers the wizard's counters (wizard_requests,
 	// wizard_rejected, wizard_update_failures, wizard_reply_errors),
 	// its per-outcome request-latency histograms (wizard_latency_*),
@@ -115,6 +132,14 @@ type Wizard struct {
 	// testWrap, when set by tests, wraps each serve loop's endpoint —
 	// the injection point for write-error fault tests.
 	testWrap func(netbatch.Endpoint) netbatch.Endpoint
+
+	// freeBufs recycles queue-handoff receive buffers between the
+	// ingest loops (which hand a filled buffer to the queue and need a
+	// fresh one for the ring slot) and the workers (which return the
+	// buffer once the request is answered). A channel free list keeps
+	// the exchange allocation-free; when it runs dry the getter
+	// allocates and when it overflows the putter lets the GC collect.
+	freeBufs chan []byte
 
 	// Per-outcome request-latency histograms (§3.6.1's selection
 	// quality, made measurable): every Answer lands in exactly one.
@@ -165,6 +190,14 @@ func New(cfg Config) (*Wizard, error) {
 	shards, err := netbatch.ListenShards(cfg.Addr, max(cfg.Shards, 1), cfg.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("wizard: %w", err)
+	}
+	if cfg.RecvBuf > 0 {
+		for _, s := range shards {
+			if err := s.SetReadBuffer(cfg.RecvBuf); err != nil {
+				closeAll(shards)
+				return nil, fmt.Errorf("wizard: set receive buffer: %w", err)
+			}
+		}
 	}
 	size := cfg.CacheSize
 	switch {
@@ -256,7 +289,10 @@ func (w *Wizard) ReloadTemplates(templates map[string]string) {
 // with Workers ≤ 1 (the thesis wizard "processes the user requests
 // sequentially"), or from a pool of handler goroutines otherwise.
 // With shards, loop i serves socket i mod len(shards), and at least
-// one loop runs per shard so no socket's flows go unanswered.
+// one loop runs per shard so no socket's flows go unanswered. When
+// the overload gate is enabled the serve path switches to the
+// admission-controlled architecture instead: per-shard ingest loops
+// feeding bounded queues, workers draining them under CoDel.
 func (w *Wizard) Run(ctx context.Context) error {
 	go func() {
 		<-ctx.Done()
@@ -265,6 +301,9 @@ func (w *Wizard) Run(ctx context.Context) error {
 			_ = s.Close()
 		}
 	}()
+	if w.cfg.Overload.Enabled() {
+		return w.runProtected(ctx)
+	}
 	loops := max(w.cfg.Workers, 1)
 	if loops < len(w.shards) {
 		loops = len(w.shards)
@@ -354,6 +393,238 @@ func (w *Wizard) serve(ctx context.Context, conn *net.UDPConn) error {
 			w.replyErr.Add(uint64(len(replies) - sent))
 			w.logf("wizard: send replies: %v (%d of %d sent)", err, sent, len(replies))
 		}
+	}
+}
+
+// runProtected is the overload-protected serve architecture: one
+// ingest loop per shard pulls batches off the socket, rate-limits by
+// source and pushes the survivors (with their arrival timestamps)
+// into that shard's bounded queue; a pool of workers drains the
+// queues, shedding under the CoDel control law before spending any
+// answer-pipeline work. Shed requests get a cheap "overloaded,
+// retry-after" reply so their clients back off instead of resending
+// into the storm.
+//
+// Shutdown mirrors Run: the context watcher closes the sockets, every
+// ingest loop surfaces net.ErrClosed and exits, the queues are closed
+// behind them, and the workers drain what is left before exiting on
+// the closed queues.
+func (w *Wizard) runProtected(ctx context.Context) error {
+	nshards := len(w.shards)
+	queues := make([]*overload.Queue, nshards)
+	for i := range queues {
+		queues[i] = w.cfg.Overload.NewQueue()
+	}
+	workers := max(w.cfg.Workers, nshards)
+	batch := w.batch()
+	// Enough free buffers to fill every queue and every in-flight
+	// worker batch without the getter allocating in steady state.
+	w.freeBufs = make(chan []byte, nshards*queues[0].Cap()+workers*batch+nshards*batch)
+
+	errs := make(chan error, nshards+workers)
+	var ingest, drain sync.WaitGroup
+	for i := 0; i < nshards; i++ {
+		ingest.Add(1)
+		go func(i int) {
+			defer ingest.Done()
+			errs <- w.serveIngest(ctx, w.shards[i], queues[i])
+		}(i)
+	}
+	for j := 0; j < workers; j++ {
+		drain.Add(1)
+		go func(j int) {
+			defer drain.Done()
+			errs <- w.serveQueue(ctx, w.shards[j%nshards], queues[j%nshards])
+		}(j)
+	}
+	ingest.Wait()
+	for _, q := range queues {
+		q.Close()
+	}
+	drain.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batch is the configured per-syscall datagram count, clamped.
+func (w *Wizard) batch() int {
+	b := w.cfg.Batch
+	if b < 1 {
+		b = 1
+	}
+	if b > netbatch.MaxBatch {
+		b = netbatch.MaxBatch
+	}
+	return b
+}
+
+// getBuf takes a receive buffer from the free list, allocating when
+// it runs dry.
+func (w *Wizard) getBuf() []byte {
+	select {
+	case b := <-w.freeBufs:
+		return b
+	default:
+		return make([]byte, 64*1024)
+	}
+}
+
+// putBuf returns a handed-off buffer once its datagram is answered.
+func (w *Wizard) putBuf(b []byte) {
+	select {
+	case w.freeBufs <- b[:cap(b)]:
+	default:
+	}
+}
+
+// serveIngest is one shard's admission loop: read a batch, run the
+// per-source token bucket, hand admitted datagrams (timestamped) to
+// the shard queue and answer rate-limited or queue-evicted ones with
+// shed replies. It does no parsing beyond the request header of the
+// datagrams it sheds, so a storm's ingest cost stays near the syscall
+// floor and the socket drains at wire speed — the queue, not the
+// kernel buffer, is where excess load becomes measurable.
+func (w *Wizard) serveIngest(ctx context.Context, conn *net.UDPConn, q *overload.Queue) error {
+	ep, err := w.endpoint(conn)
+	if err != nil {
+		return err
+	}
+	gate := w.cfg.Overload
+	batch := w.batch()
+	rx := netbatch.NewBatch(batch, 64*1024)
+	tx := netbatch.NewBatch(batch, 256) // shed replies are tiny
+	var req proto.Request               // scratch for shed-reply seq extraction
+	for {
+		n, err := ep.ReadBatch(rx)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("wizard: read: %w", err)
+		}
+		w.recvBatch.Observe(int64(n))
+		now := time.Now()
+		sheds := tx[:0]
+		for i := 0; i < n; i++ {
+			if !gate.AllowSource(rx[i].Addr, now) {
+				sheds = w.appendShed(sheds, rx[i].Buf, rx[i].Addr, &req)
+				continue
+			}
+			m := netbatch.Handoff(&rx[i], w.getBuf())
+			if ev, dropped := q.Push(overload.Item{Buf: m.Buf, Addr: m.Addr, Enq: now}); dropped {
+				sheds = w.appendShed(sheds, ev.Buf, ev.Addr, &req)
+				w.putBuf(ev.Buf)
+			}
+		}
+		if len(sheds) == 0 {
+			continue
+		}
+		w.sendBatch.Observe(int64(len(sheds)))
+		sent, err := ep.WriteBatch(sheds)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			w.replyErr.Add(uint64(len(sheds) - sent))
+			w.logf("wizard: send shed replies: %v (%d of %d sent)", err, sent, len(sheds))
+		}
+	}
+}
+
+// serveQueue is one worker: pop the next queued request (blocking),
+// drain whatever else is ready up to a batch, answer or shed each
+// under the CoDel controller, and flush the replies with one batched
+// write. Exits when the queue closes at shutdown.
+func (w *Wizard) serveQueue(ctx context.Context, conn *net.UDPConn, q *overload.Queue) error {
+	ep, err := w.endpoint(conn)
+	if err != nil {
+		return err
+	}
+	batch := w.batch()
+	tx := netbatch.NewBatch(batch, 2048)
+	var req proto.Request
+	var reply proto.Reply
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			return nil
+		}
+		replies := tx[:0]
+		for {
+			if q.AdmitDequeued(it, time.Now()) {
+				if w.handle(ctx, it.Buf, &req, &reply) {
+					j := len(replies)
+					replies = replies[:j+1]
+					out, err := proto.AppendReply(replies[j].Buf[:0], &reply)
+					if err != nil {
+						replies = replies[:j]
+						w.logf("wizard: marshal reply: %v", err)
+					} else {
+						replies[j].Buf = out
+						replies[j].Addr = it.Addr
+					}
+				}
+			} else {
+				replies = w.appendShed(replies, it.Buf, it.Addr, &req)
+			}
+			w.putBuf(it.Buf)
+			if len(replies) >= batch {
+				break
+			}
+			next, more := q.TryPop()
+			if !more {
+				break
+			}
+			it = next
+		}
+		if len(replies) == 0 {
+			continue
+		}
+		w.sendBatch.Observe(int64(len(replies)))
+		sent, err := ep.WriteBatch(replies)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			w.replyErr.Add(uint64(len(replies) - sent))
+			w.logf("wizard: send replies: %v (%d of %d sent)", err, sent, len(replies))
+		}
+	}
+}
+
+// appendShed appends an "overloaded, retry-after" reply for one shed
+// request datagram onto the reply vector. The datagram is parsed only
+// for its sequence number; an undecodable one gets no reply (there is
+// no seq to answer). Shed requests are counted by the overload plane
+// (overload_shed / overload_ratelimited), not in wizard_requests —
+// that counter keeps meaning "requests the answer pipeline served".
+func (w *Wizard) appendShed(out []netbatch.Message, datagram []byte, addr netip.AddrPort, req *proto.Request) []netbatch.Message {
+	if err := proto.ParseRequest(datagram, req); err != nil {
+		w.logf("wizard: dropping undecodable shed request: %v", err)
+		return out
+	}
+	reply := proto.Reply{Seq: req.Seq, Err: proto.OverloadedErr(w.cfg.Overload.RetryAfter())}
+	j := len(out)
+	out = out[:j+1]
+	buf, err := proto.AppendReply(out[j].Buf[:0], &reply)
+	if err != nil {
+		w.logf("wizard: marshal shed reply: %v", err)
+		return out[:j]
+	}
+	out[j].Buf = buf
+	out[j].Addr = addr
+	return out
+}
+
+// closeAll releases the shard set after a partial New failure.
+func closeAll(conns []*net.UDPConn) {
+	for _, c := range conns {
+		_ = c.Close()
 	}
 }
 

@@ -82,6 +82,31 @@ SCHEMAS = {
             "unindexable_ns_overhead_100k": (None, 1.05),
         },
     },
+    "BENCH_overload.json": {
+        "sections": ["benchmarks", "protection"],
+        "benchmarks": {
+            "OverloadStorm/capacity": ["qps"],
+            "OverloadStorm/shed-4x": ["goodput_qps", "p99_ms", "shed_frac"],
+            "OverloadStorm/bare-4x": ["goodput_qps", "p99_ms"],
+        },
+        # Overload acceptance bounds (best-of-three runs, see
+        # bench.sh): under a 4x storm the admission plane must keep
+        # goodput at >= 70% of closed-loop capacity and hold the p99
+        # sojourn of the requests it serves within 4x the CoDel
+        # target. bare_goodput_vs_capacity_4x is recorded unbounded —
+        # it is the collapse curve the protection is measured against,
+        # and a "good" bare number would mean the storm wasn't one.
+        "ratio_section": "protection",
+        "ratios": [
+            "goodput_vs_capacity_4x",
+            "p99_queue_delay_vs_target_4x",
+            "bare_goodput_vs_capacity_4x",
+        ],
+        "ratio_bounds": {
+            "goodput_vs_capacity_4x": (0.70, None),
+            "p99_queue_delay_vs_target_4x": (None, 4.0),
+        },
+    },
 }
 
 # BENCH_obs.json is an obs.Registry snapshot captured by
@@ -111,6 +136,9 @@ OBS_SCHEMA = {
         "netbatch_rx_syscalls",
         "netbatch_tx_syscalls",
         "netbatch_fallback",
+        "overload_shed",
+        "overload_ratelimited",
+        "overload_bypass",
     ],
     "gauges": [
         "store_wizard_ver",
@@ -129,6 +157,7 @@ OBS_SCHEMA = {
         "wizard_latency_rejected",
         "wizard_recv_batch",
         "wizard_send_batch",
+        "overload_queue_delay",
     ],
 }
 

@@ -21,11 +21,27 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race -short =="
+echo "== go test -race -short -shuffle=on =="
 # -short skips the multi-process integration tests and the chaos
 # end-to-end tests; CI runs those in a dedicated job with a pinned
 # CHAOS_SEED (and they remain part of plain `go test ./...`).
-go test -race -short ./...
+# -shuffle=on randomises test order within each package so hidden
+# order dependencies surface here, not in a midnight CI run; the
+# shuffle seed is printed at the top of each package's output, and
+# `-shuffle=<seed>` replays a failing order exactly.
+go test -race -short -shuffle=on ./...
+
+echo "== chaos test naming =="
+# CI's chaos job selects with `go test -run Chaos`; -run matches by
+# unanchored substring, so a chaos test named TestFooBar is silently
+# never run there. Every test in internal/chaos must carry the
+# TestChaos prefix.
+misnamed=$(grep -Hn '^func Test' internal/chaos/*_test.go | grep -v ':func TestChaos' || true)
+if [ -n "$misnamed" ]; then
+	echo "chaos tests missing the TestChaos prefix (CI's -run Chaos would skip them):" >&2
+	echo "$misnamed" >&2
+	exit 1
+fi
 
 echo "== smartlint =="
 # -stats prints per-analyzer finding counts; the baseline gate fails

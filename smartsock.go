@@ -168,9 +168,11 @@ func (c *Client) exchange(ctx context.Context, req *proto.Request) (*proto.Reply
 	buf := make([]byte, 64*1024)
 	bo := &retry.Backoff{Base: 50 * time.Millisecond, Max: c.cfg.Timeout}
 	var lastErr error
+	var floor time.Duration // retry-after hint from an overloaded reply
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			timer := time.NewTimer(bo.Next())
+			timer := time.NewTimer(bo.NextAtLeast(floor))
+			floor = 0
 			select {
 			case <-ctx.Done():
 				timer.Stop()
@@ -204,6 +206,14 @@ func (c *Client) exchange(ctx context.Context, req *proto.Request) (*proto.Reply
 			}
 			if reply.Seq != req.Seq {
 				continue // reply to a different request (§3.6.2 step 3)
+			}
+			if after, ok := proto.RetryAfter(reply.Err); ok && attempt < c.cfg.Retries {
+				// The wizard shed this request; wait at least the hinted
+				// interval before the resend so the whole retrying fleet
+				// backs off past the overload episode.
+				lastErr = fmt.Errorf("smartsock: wizard: %s", reply.Err)
+				floor = after
+				break // resend
 			}
 			return reply, nil
 		}
